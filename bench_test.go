@@ -1,0 +1,306 @@
+package eba_test
+
+// One benchmark per experiment table/figure (E1–E14, mirroring DESIGN.md's
+// index), plus micro-benchmarks for the load-bearing substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches measure the cost of regenerating each table; the
+// micro benches measure the engine, the concurrent runtime, and the
+// communication-graph machinery behind the polynomial-time P_opt.
+
+import (
+	"math/rand"
+	"testing"
+
+	eba "repro"
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/episteme"
+	"repro/internal/exchange"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// --- experiment benches (one per table/figure) ---------------------------
+
+func BenchmarkE1MessageComplexity(b *testing.B) {
+	// Per-stack single-run cost at the largest E1 configuration; the bits
+	// themselves are asserted in the experiments package.
+	n, tf := 16, 4
+	pat := adversary.Example71(n, tf, tf+2)
+	inits := adversary.UniformInits(n, model.One)
+	for _, st := range []core.Stack{core.Min(n, tf), core.Basic(n, tf), core.FIP(n, tf)} {
+		b.Run(st.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Run(pat, inits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE2FailureFreeZero(b *testing.B) {
+	n, tf := 5, 2
+	inits := adversary.UniformInits(n, eba.One)
+	inits[2] = eba.Zero
+	pat := adversary.FailureFree(n, tf+2)
+	st := core.FIP(n, tf)
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(pat, inits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3FailureFreeOnes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E3FailureFreeOnes(); !tb.Pass {
+			b.Fatal("E3 failed")
+		}
+	}
+}
+
+func BenchmarkE4Example71(b *testing.B) {
+	// The paper's exact Example 7.1 run: n=20, t=10 under P_opt.
+	n, tf := 20, 10
+	pat := adversary.Example71(n, tf, tf+2)
+	inits := adversary.UniformInits(n, model.One)
+	st := core.FIP(n, tf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Run(pat, inits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxDecisionRound(true) != 3 {
+			b.Fatal("Example 7.1 shape lost")
+		}
+	}
+}
+
+func BenchmarkE5TerminationBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, tf := 6, 2
+	st := core.Basic(n, tf)
+	for i := 0; i < b.N; i++ {
+		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.45)
+		inits := make([]model.Value, n)
+		for j := range inits {
+			inits[j] = model.Value(rng.Intn(2))
+		}
+		if _, err := st.Run(pat, inits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6ImplementsMin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := core.Min(3, 1).BuildSystem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms := sys.CheckImplements(episteme.P0, 1); len(ms) != 0 {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+func BenchmarkE7ImplementsBasic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := core.Basic(3, 1).BuildSystem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms := sys.CheckImplements(episteme.P0, 1); len(ms) != 0 {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+func BenchmarkE8ImplementsFIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := core.FIP(3, 1).BuildSystem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms := sys.CheckImplements(episteme.P1, 1); len(ms) != 0 {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+func BenchmarkE9OptimalityCharacterization(b *testing.B) {
+	sys, err := core.FIP(3, 1).BuildSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := sys.CheckOptimalityFIP(-1, 1); len(vs) != 0 {
+			b.Fatal("violation")
+		}
+	}
+}
+
+func BenchmarkE10Safety(b *testing.B) {
+	sys, err := core.Min(3, 1).BuildSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := sys.CheckSafety(1); len(vs) != 0 {
+			b.Fatal("violation")
+		}
+	}
+}
+
+func BenchmarkE11BasicVsMin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := experiments.E11BasicVsMin(); !tb.Pass {
+			b.Fatal("E11 failed")
+		}
+	}
+}
+
+func BenchmarkE12BasicVsFipFaulty(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n, tf := 5, 2
+	basic, fip := core.Basic(n, tf), core.FIP(n, tf)
+	for i := 0; i < b.N; i++ {
+		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.5)
+		inits := make([]model.Value, n)
+		for j := range inits {
+			inits[j] = model.Value(rng.Intn(2))
+		}
+		rb, err := basic.Run(pat, inits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf, err := fip.Run(pat, inits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rf.MaxDecisionRound(true) > rb.MaxDecisionRound(true) {
+			b.Fatal("fip decided later than basic")
+		}
+	}
+}
+
+func BenchmarkE13CrashVsOmission(b *testing.B) {
+	// One exhaustive naive-protocol sweep over SO(1), n=3.
+	st := core.Naive(3, 1)
+	for i := 0; i < b.N; i++ {
+		adversary.EnumerateSO(3, 1, 3, adversary.Options{}, func(pat *model.Pattern) bool {
+			p := pat.Clone()
+			adversary.EnumerateInits(3, func(inits []model.Value) bool {
+				if _, err := st.Run(p, append([]model.Value(nil), inits...)); err != nil {
+					b.Fatal(err)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func BenchmarkE14Synthesize(b *testing.B) {
+	ctx := episteme.Context{Exchange: exchange.NewMin(3), T: 1}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := episteme.Synthesize(ctx, episteme.P0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro benches --------------------------------------------------------
+
+func BenchmarkEngineRoundMin(b *testing.B) {
+	n, tf := 16, 4
+	st := core.Min(n, tf)
+	pat := adversary.FailureFree(n, tf+2)
+	inits := adversary.UniformInits(n, model.One)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(pat, inits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimeConcurrent(b *testing.B) {
+	n, tf := 8, 2
+	st := core.Basic(n, tf)
+	pat := adversary.Silent(n, tf+2, 0)
+	inits := adversary.UniformInits(n, model.One)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunConcurrent(pat, inits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphMergeAndKey(b *testing.B) {
+	// Build a realistic mid-run graph and measure clone+merge+key, the
+	// inner loop of the full-information exchange.
+	n, tf := 12, 3
+	res, err := core.FIP(n, tf).Run(adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := res.States[tf+1][tf].(exchange.FIPState)
+	g := st.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := g.Clone()
+		h.Merge(g)
+		_ = h.Key()
+	}
+}
+
+func BenchmarkRefOwnerAction(b *testing.B) {
+	// P_opt's per-round decision cost on a mid-run view at Example 7.1
+	// scale.
+	n, tf := 20, 10
+	res, err := core.FIP(n, tf).Run(adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := res.States[2][tf].(exchange.FIPState)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := graph.NewRef(tf, st.Graph())
+		_ = r.OwnerAction()
+	}
+}
+
+func BenchmarkBuildSystemMin31(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Min(3, 1).BuildSystem(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineStepFIP(b *testing.B) {
+	n, tf := 12, 3
+	ex := exchange.NewFIP(n)
+	pat := adversary.FailureFree(n, tf+2)
+	states := make([]model.State, n)
+	acts := make([]model.Action, n)
+	for i := 0; i < n; i++ {
+		states[i] = ex.Initial(model.AgentID(i), model.One)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.Step(ex, pat, 0, states, acts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

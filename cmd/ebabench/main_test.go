@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestBenchSkipSlowEndToEnd(t *testing.T) {
+	if err := run([]string{"-skip-slow", "-trials", "25", "-seed", "7"}); err != nil {
+		t.Errorf("ebabench failed: %v", err)
+	}
+}
+
+func TestBenchFlagError(t *testing.T) {
+	if err := run([]string{"-unknown"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,117 @@
+// Command ebacheck model-checks the paper's knowledge-theoretic claims on
+// a small exhaustive system: that a concrete protocol implements its
+// knowledge-based program (Theorems 6.5, 6.6, A.21), that the safety
+// condition of Definition 6.2 holds (Proposition 6.4), and that the
+// optimality characterization of Theorem 7.5 holds over γ_fip.
+//
+// Usage:
+//
+//	ebacheck -stack min -n 3 -t 1            # Pmin implements P0
+//	ebacheck -stack fip -n 3 -t 1            # Popt implements P1 + Theorem 7.5
+//	ebacheck -stack basic -n 3 -t 1 -safety  # + Definition 6.2
+//
+// Everything is exhaustive: expect exponential cost beyond n=4, t=1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/episteme"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ebacheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ebacheck", flag.ContinueOnError)
+	var (
+		stackName  = fs.String("stack", "min", "protocol stack: min, basic, or fip")
+		n          = fs.Int("n", 3, "number of agents")
+		t          = fs.Int("t", 1, "failure bound t")
+		safety     = fs.Bool("safety", false, "also check the Definition 6.2 safety condition")
+		optimality = fs.Bool("optimality", true, "for -stack fip: check the Theorem 7.5 characterization")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var stack core.Stack
+	prog := episteme.P0
+	switch *stackName {
+	case "min":
+		stack = core.Min(*n, *t)
+	case "basic":
+		stack = core.Basic(*n, *t)
+	case "fip":
+		stack = core.FIP(*n, *t)
+		prog = episteme.P1
+	default:
+		return fmt.Errorf("unknown stack %q", *stackName)
+	}
+
+	fmt.Printf("building exhaustive system for %s (n=%d, t=%d, horizon=%d)...\n",
+		stack.Name, *n, *t, stack.Horizon())
+	t0 := time.Now()
+	sys, err := stack.BuildSystem()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d runs in %.2fs\n\n", len(sys.Runs), time.Since(t0).Seconds())
+
+	fmt.Printf("checking: %s implements %s ... ", stack.Action.Name(), prog)
+	t0 = time.Now()
+	ms := sys.CheckImplements(prog, 5)
+	if len(ms) == 0 {
+		fmt.Printf("OK (%.2fs)\n", time.Since(t0).Seconds())
+	} else {
+		fmt.Printf("FAILED (%.2fs)\n", time.Since(t0).Seconds())
+		for _, m := range ms {
+			fmt.Println("  ", m)
+		}
+		return fmt.Errorf("implementation check failed")
+	}
+
+	if *safety {
+		fmt.Printf("checking: Definition 6.2 safety condition ... ")
+		t0 = time.Now()
+		vs := sys.CheckSafety(5)
+		if len(vs) == 0 {
+			fmt.Printf("OK (%.2fs)\n", time.Since(t0).Seconds())
+		} else {
+			fmt.Printf("violated (%.2fs)\n", time.Since(t0).Seconds())
+			for _, v := range vs {
+				fmt.Println("  ", v)
+			}
+			if stack.Name == "fip" {
+				fmt.Println("  (expected: Section 6 notes P0 is not safe wrt full information)")
+			} else {
+				return fmt.Errorf("safety check failed")
+			}
+		}
+	}
+
+	if stack.Name == "fip" && *optimality {
+		fmt.Printf("checking: Theorem 7.5 optimality characterization ... ")
+		t0 = time.Now()
+		vs := sys.CheckOptimalityFIP(-1, 5)
+		if len(vs) == 0 {
+			fmt.Printf("OK (%.2fs)\n", time.Since(t0).Seconds())
+		} else {
+			fmt.Printf("FAILED (%.2fs)\n", time.Since(t0).Seconds())
+			for _, v := range vs {
+				fmt.Println("  ", v)
+			}
+			return fmt.Errorf("optimality check failed")
+		}
+	}
+	fmt.Println("\nall checks passed")
+	return nil
+}

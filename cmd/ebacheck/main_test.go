@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestCheckMinEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-stack", "min", "-n", "3", "-t", "1", "-safety"}); err != nil {
+		t.Errorf("ebacheck min failed: %v", err)
+	}
+}
+
+func TestCheckFIPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// fip includes the Theorem 7.5 check and the (expected) safety
+	// violation report for full information.
+	if err := run([]string{"-stack", "fip", "-n", "3", "-t", "1", "-safety"}); err != nil {
+		t.Errorf("ebacheck fip failed: %v", err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	if err := run([]string{"-stack", "bogus"}); err == nil {
+		t.Error("unknown stack accepted")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Command ebarun executes one EBA configuration and prints the per-round
+// trace, the decision ledger, and the traffic statistics.
+//
+// Usage:
+//
+//	ebarun -stack fip -n 6 -t 2 -adversary example71 -inits all1
+//	ebarun -stack min -n 5 -t 2 -adversary random -seed 7 -inits 01101
+//	ebarun -stack basic -n 4 -t 1 -adversary silent:0,2 -concurrent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ebarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ebarun", flag.ContinueOnError)
+	var (
+		stackName  = fs.String("stack", "basic", "protocol stack: min, basic, fip, or naive")
+		n          = fs.Int("n", 5, "number of agents")
+		t          = fs.Int("t", 2, "failure bound t")
+		advSpec    = fs.String("adversary", "none", "adversary: none, example71, random, or silent:<ids>")
+		seed       = fs.Int64("seed", 1, "seed for -adversary random")
+		drop       = fs.Float64("drop", 0.5, "drop probability for -adversary random")
+		initsSpec  = fs.String("inits", "all1", "initial preferences: all0, all1, or a 0/1 string")
+		concurrent = fs.Bool("concurrent", false, "run on the goroutine runtime instead of the engine")
+		format     = fs.String("format", "summary", "output: summary, trace (message-level), or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stack, err := makeStack(*stackName, *n, *t)
+	if err != nil {
+		return err
+	}
+	pat, err := makeAdversary(*advSpec, *n, *t, stack.Horizon(), *seed, *drop)
+	if err != nil {
+		return err
+	}
+	inits, err := makeInits(*initsSpec, *n)
+	if err != nil {
+		return err
+	}
+
+	var res *engine.Result
+	if *concurrent {
+		res, err = stack.RunConcurrent(pat, inits)
+	} else {
+		res, err = stack.Run(pat, inits)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "summary":
+		// fall through to the summary below
+	case "trace":
+		fmt.Print(trace.New(res, stack.Exchange, stack.Action.Name()).Render())
+		return nil
+	case "json":
+		data, err := trace.New(res, stack.Exchange, stack.Action.Name()).JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	fmt.Printf("stack=%s n=%d t=%d horizon=%d adversary=%s\n",
+		stack.Name, *n, *t, stack.Horizon(), pat)
+	fmt.Printf("inits: %s\n\n", renderValues(inits))
+	for m := 0; m < res.Horizon; m++ {
+		var acts []string
+		for i := 0; i < res.N; i++ {
+			if a := res.Actions[m][i]; a.IsDecide() {
+				acts = append(acts, fmt.Sprintf("agent %d %v", i, a))
+			}
+		}
+		if len(acts) == 0 {
+			fmt.Printf("round %2d: (no decisions)\n", m+1)
+		} else {
+			fmt.Printf("round %2d: %s\n", m+1, strings.Join(acts, ", "))
+		}
+	}
+	fmt.Println()
+	for i := 0; i < res.N; i++ {
+		id := model.AgentID(i)
+		status := "nonfaulty"
+		if res.Pattern.Faulty(id) {
+			status = "FAULTY"
+		}
+		if res.Round(id) == 0 {
+			fmt.Printf("agent %d (%s): undecided\n", i, status)
+		} else {
+			fmt.Printf("agent %d (%s): decided %v in round %d\n", i, status, res.Decided(id), res.Round(id))
+		}
+	}
+	fmt.Printf("\ntraffic: %d messages / %d bits sent; %d messages / %d bits delivered\n",
+		res.Stats.MessagesSent, res.Stats.BitsSent,
+		res.Stats.MessagesDelivered, res.Stats.BitsDelivered)
+
+	if vs := spec.CheckRun(res, spec.Options{RoundBound: stack.Horizon()}); len(vs) != 0 {
+		fmt.Println("\nEBA specification violations:")
+		for _, v := range vs {
+			fmt.Println(" ", v)
+		}
+		if stack.Name != "naive" {
+			return fmt.Errorf("unexpected specification violation")
+		}
+		fmt.Println("(expected: the naive stack is the paper's counterexample)")
+	} else {
+		fmt.Println("\nEBA specification: satisfied")
+	}
+	return nil
+}
+
+func makeStack(name string, n, t int) (core.Stack, error) {
+	switch name {
+	case "min":
+		return core.Min(n, t), nil
+	case "basic":
+		return core.Basic(n, t), nil
+	case "fip":
+		return core.FIP(n, t), nil
+	case "naive":
+		return core.Naive(n, t), nil
+	default:
+		return core.Stack{}, fmt.Errorf("unknown stack %q", name)
+	}
+}
+
+func makeAdversary(specStr string, n, t, horizon int, seed int64, drop float64) (*model.Pattern, error) {
+	switch {
+	case specStr == "none":
+		return adversary.FailureFree(n, horizon), nil
+	case specStr == "example71":
+		return adversary.Example71(n, t, horizon), nil
+	case specStr == "random":
+		return adversary.RandomSO(rand.New(rand.NewSource(seed)), n, t, horizon, drop), nil
+	case strings.HasPrefix(specStr, "silent:"):
+		var agents []model.AgentID
+		for _, part := range strings.Split(strings.TrimPrefix(specStr, "silent:"), ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || id < 0 || id >= n {
+				return nil, fmt.Errorf("bad agent id %q in %q", part, specStr)
+			}
+			agents = append(agents, model.AgentID(id))
+		}
+		if len(agents) > t {
+			return nil, fmt.Errorf("%d silent agents exceed t=%d", len(agents), t)
+		}
+		return adversary.Silent(n, horizon, agents...), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", specStr)
+	}
+}
+
+func makeInits(specStr string, n int) ([]model.Value, error) {
+	switch specStr {
+	case "all0":
+		return adversary.UniformInits(n, model.Zero), nil
+	case "all1":
+		return adversary.UniformInits(n, model.One), nil
+	}
+	if len(specStr) != n {
+		return nil, fmt.Errorf("inits %q has %d digits for %d agents", specStr, len(specStr), n)
+	}
+	out := make([]model.Value, n)
+	for i, ch := range specStr {
+		switch ch {
+		case '0':
+			out[i] = model.Zero
+		case '1':
+			out[i] = model.One
+		default:
+			return nil, fmt.Errorf("inits %q must be 0/1 digits", specStr)
+		}
+	}
+	return out, nil
+}
+
+func renderValues(vs []model.Value) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestSynthMinEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-exchange", "min", "-n", "3", "-t", "1"}); err != nil {
+		t.Errorf("ebasynth min failed: %v", err)
+	}
+}
+
+func TestSynthBasicEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-exchange", "basic", "-n", "3", "-t", "1"}); err != nil {
+		t.Errorf("ebasynth basic failed: %v", err)
+	}
+}
+
+func TestSynthErrors(t *testing.T) {
+	if err := run([]string{"-exchange", "bogus"}); err == nil {
+		t.Error("unknown exchange accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

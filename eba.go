@@ -1,0 +1,193 @@
+// Package eba is a Go implementation of the protocols of Alpturer,
+// Halpern, and van der Meyden, "Optimal Eventual Byzantine Agreement
+// Protocols with Omission Failures" (PODC 2023): eventual Byzantine
+// agreement under sending-omission failures with limited information
+// exchange.
+//
+// The package exposes the paper's three protocol stacks —
+//
+//	Min(n, t)   — the minimal exchange with P_min (n² bits per run)
+//	Basic(n, t) — the basic exchange with P_basic (O(n²t) bits)
+//	FIP(n, t)   — full information with P_opt, the polynomial-time optimal
+//	              protocol that settles the open problem of Halpern,
+//	              Moses, and Waarts (SIAM J. Comput. 2001)
+//
+// — together with failure-pattern builders, a deterministic round engine,
+// a concurrent goroutine runtime, an EBA specification checker, and an
+// epistemic model checker that can verify the paper's implementation and
+// optimality theorems on small systems.
+//
+// # Quickstart
+//
+//	stack := eba.Basic(5, 2)
+//	pattern := eba.Silent(5, stack.Horizon(), 0) // agent 0 faulty & silent
+//	inits := []eba.Value{eba.One, eba.One, eba.Zero, eba.One, eba.One}
+//	res, err := stack.Run(pattern, inits)
+//	// res.Decision, res.DecisionRound, res.Stats ...
+//
+// Implementation detail lives under internal/: model (the formal objects),
+// exchange and action (the protocols), graph (communication graphs and the
+// polynomial-time analysis behind P_opt), engine and runtime (execution),
+// adversary (failure patterns), spec (the EBA specification), episteme
+// (the model checker), and experiments (the paper's evaluation tables).
+package eba
+
+import (
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/episteme"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Re-exported core types.
+type (
+	// Value is a consensus value: Zero, One, or None (the paper's ⊥).
+	Value = model.Value
+	// AgentID identifies an agent (0-based).
+	AgentID = model.AgentID
+	// ActionKind is a protocol action: Noop, Decide0, or Decide1.
+	ActionKind = model.Action
+	// Pattern is a failure pattern: the nonfaulty set plus the dropped
+	// messages (the paper's adversary).
+	Pattern = model.Pattern
+	// FailureModel is SO(t) or Crash(t).
+	FailureModel = model.FailureModel
+	// Result is a completed run: trace, decision ledger, traffic stats.
+	Result = engine.Result
+	// Stack is a protocol stack: exchange + action protocol.
+	Stack = core.Stack
+	// Scenario is one (pattern, inits) input for corresponding runs.
+	Scenario = core.Scenario
+	// Violation is one EBA specification breach.
+	Violation = spec.Violation
+	// SpecOptions tunes specification checking.
+	SpecOptions = spec.Options
+	// System is an interpreted system built by exhaustive enumeration.
+	System = episteme.System
+	// Program identifies a knowledge-based program (ProgramP0/ProgramP1).
+	Program = episteme.Program
+)
+
+// Consensus values.
+const (
+	// Zero is the consensus value 0.
+	Zero = model.Zero
+	// One is the consensus value 1.
+	One = model.One
+	// None is the paper's ⊥.
+	None = model.None
+)
+
+// Knowledge-based programs.
+const (
+	// ProgramP0 is the paper's P0 (Section 6).
+	ProgramP0 = episteme.P0
+	// ProgramP1 is the paper's P1 (Section 7).
+	ProgramP1 = episteme.P1
+)
+
+// Min returns the minimal protocol stack ⟨Emin(n), P_min⟩, optimal with
+// respect to the minimal information exchange (Corollary 6.7).
+func Min(n, t int) Stack { return core.Min(n, t) }
+
+// Basic returns the basic protocol stack ⟨Ebasic(n), P_basic⟩, optimal
+// with respect to the basic information exchange (Corollary 6.7).
+func Basic(n, t int) Stack { return core.Basic(n, t) }
+
+// FIP returns the full-information stack ⟨Efip(n), P_opt⟩, optimal with
+// respect to full information exchange (Corollary 7.8) and polynomial
+// time (Proposition 7.9).
+func FIP(n, t int) Stack { return core.FIP(n, t) }
+
+// FIPNoCK returns the ablated full-information stack: P_opt without the
+// common-knowledge guards, i.e. the knowledge-based program P0 over full
+// information. Correct but not optimal.
+func FIPNoCK(n, t int) Stack { return core.FIPNoCK(n, t) }
+
+// Naive returns the introduction's counterexample stack, which violates
+// Agreement under omission failures. Use it to reproduce the paper's
+// impossibility argument, not to reach agreement.
+func Naive(n, t int) Stack { return core.Naive(n, t) }
+
+// SO returns the sending-omissions failure model with at most t faults.
+func SO(t int) FailureModel { return model.SO(t) }
+
+// Crash returns the crash failure model with at most t faults.
+func Crash(t int) FailureModel { return model.Crash(t) }
+
+// NewPattern returns a failure-free pattern for n agents and the given
+// horizon (number of rounds for which drops may be specified).
+func NewPattern(n, horizon int) *Pattern { return model.NewPattern(n, horizon) }
+
+// FailureFree returns the pattern with no faulty agents.
+func FailureFree(n, horizon int) *Pattern { return adversary.FailureFree(n, horizon) }
+
+// Silent returns a pattern where the listed agents are faulty and never
+// deliver a message.
+func Silent(n, horizon int, agents ...AgentID) *Pattern {
+	return adversary.Silent(n, horizon, agents...)
+}
+
+// Example71 returns the adversary of the paper's Example 7.1: agents
+// 0..t-1 faulty and silent.
+func Example71(n, t, horizon int) *Pattern { return adversary.Example71(n, t, horizon) }
+
+// RandomSO returns a seeded random SO(t) pattern; each message from a
+// faulty agent is dropped independently with probability dropProb.
+func RandomSO(rng *rand.Rand, n, t, horizon int, dropProb float64) *Pattern {
+	return adversary.RandomSO(rng, n, t, horizon, dropProb)
+}
+
+// RandomCrash returns a seeded random crash(t) pattern.
+func RandomCrash(rng *rand.Rand, n, t, horizon int) *Pattern {
+	return adversary.RandomCrash(rng, n, t, horizon)
+}
+
+// UniformInits returns an n-vector of identical initial preferences.
+func UniformInits(n int, v Value) []Value { return adversary.UniformInits(n, v) }
+
+// CheckRun verifies a completed run against the EBA specification of
+// Section 5 (Unique Decision, Agreement, Validity, Termination).
+func CheckRun(res *Result, opts SpecOptions) []Violation { return spec.CheckRun(res, opts) }
+
+// CompareRuns computes the dominance relation between two protocols'
+// corresponding run sets (the order underlying the paper's optimality).
+func CompareRuns(runsP, runsQ []*Result) (spec.Dominance, error) {
+	return spec.CompareRuns(runsP, runsQ)
+}
+
+// Dominance is the result of CompareRuns.
+type Dominance = spec.Dominance
+
+// VerifyImplementation machine-checks that the stack's action protocol
+// implements the given knowledge-based program in the stack's EBA context
+// (Theorems 6.5, 6.6, A.21), by exhaustive enumeration of every failure
+// pattern and initial assignment. Exponential: small n and t only. The
+// returned strings describe disagreements; empty means verified.
+func VerifyImplementation(stack Stack, prog Program) ([]string, error) {
+	sys, err := stack.BuildSystem()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range sys.CheckImplements(prog, 10) {
+		out = append(out, m.String())
+	}
+	return out, nil
+}
+
+// VerifyOptimality machine-checks the Theorem 7.5 optimality
+// characterization for a full-information stack by exhaustive enumeration.
+// The returned strings describe violations; empty means the stack's
+// decisions are optimal with respect to full information exchange.
+func VerifyOptimality(stack Stack) ([]string, error) {
+	sys, err := stack.BuildSystem()
+	if err != nil {
+		return nil, err
+	}
+	return sys.CheckOptimalityFIP(-1, 10), nil
+}

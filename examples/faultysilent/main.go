@@ -1,0 +1,48 @@
+// Faultysilent reproduces Example 7.1 of the paper at its exact
+// parameters: n=20 agents, t=10 of them faulty and silent from the first
+// round, every initial preference 1.
+//
+// After one round every nonfaulty agent knows who the faulty agents are;
+// after two rounds that knowledge is common knowledge among the nonfaulty
+// agents, and the optimal full-information protocol P_opt decides in
+// round 3. The limited-information protocols P_min and P_basic cannot
+// distinguish this run from one with a hidden 0-chain threading through
+// the silent agents, so they must wait until round t+2 = 12.
+//
+//	go run ./examples/faultysilent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eba "repro"
+)
+
+func main() {
+	const (
+		n = 20
+		t = 10
+	)
+	pattern := eba.Example71(n, t, t+2)
+	inits := eba.UniformInits(n, eba.One)
+
+	fmt.Printf("Example 7.1: n=%d, t=%d, agents 0..%d silent-faulty, all preferences 1\n\n", n, t, t-1)
+	fmt.Printf("%-28s %-18s %s\n", "stack", "nonfaulty decide", "bits sent")
+	for _, stack := range []eba.Stack{eba.FIP(n, t), eba.Min(n, t), eba.Basic(n, t)} {
+		res, err := stack.Run(pattern, inits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if vs := eba.CheckRun(res, eba.SpecOptions{RoundBound: stack.Horizon()}); len(vs) > 0 {
+			log.Fatalf("%s: specification violated: %v", stack.Name, vs)
+		}
+		fmt.Printf("%-28s round %-12d %d\n",
+			stack.Exchange.Name()+"+"+stack.Action.Name(),
+			res.MaxDecisionRound(true),
+			res.Stats.BitsSent)
+	}
+
+	fmt.Println("\nThe full-information protocol buys 9 rounds with ~5000x the bits —")
+	fmt.Println("the trade-off Section 8 of the paper quantifies.")
+}

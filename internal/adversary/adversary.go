@@ -1,0 +1,131 @@
+// Package adversary constructs failure patterns for the sending-omissions
+// model SO(t) and the crash model of Section 3: hand-built patterns (silent
+// agents, the runs used in the paper's examples), seeded random adversaries
+// for statistical experiments, and exhaustive enumeration for the epistemic
+// model checker.
+//
+// Self-omissions: the formal model permits a faulty agent to drop messages
+// to itself, and footnote 3 of the paper observes that such behavior is
+// undetectable. Enumeration therefore excludes self-drops by default
+// (Options.IncludeSelfDrops re-enables them); the random generators never
+// produce them.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// FailureFree returns the pattern with no faulty agents.
+func FailureFree(n, horizon int) *model.Pattern {
+	return model.NewPattern(n, horizon)
+}
+
+// Silent returns a pattern in which each of the given agents is faulty and
+// sends no messages (to anyone but itself) for the entire horizon. This is
+// the adversary of Example 7.1 and of the introduction's run r.
+func Silent(n, horizon int, agents ...model.AgentID) *model.Pattern {
+	p := model.NewPattern(n, horizon)
+	for _, i := range agents {
+		p.Silence(i, 0, horizon)
+	}
+	return p
+}
+
+// Example71 returns the failure pattern of Example 7.1: agents 0..t-1 are
+// faulty and never send a message. (The paper uses n=20, t=10; any n > t
+// works.) All agents should be given initial preference 1 to reproduce the
+// example.
+func Example71(n, t, horizon int) *model.Pattern {
+	if t >= n {
+		panic(fmt.Sprintf("adversary: Example71 needs t < n, got n=%d t=%d", n, t))
+	}
+	agents := make([]model.AgentID, t)
+	for i := range agents {
+		agents[i] = model.AgentID(i)
+	}
+	return Silent(n, horizon, agents...)
+}
+
+// CrashAt returns a pattern in which agent i crashes at time m: in round
+// m+1 its message reaches only the agents in reached, and from round m+2 on
+// it sends nothing. Other agents are untouched; compose by calling multiple
+// builders on the returned pattern.
+func CrashAt(n, horizon int, i model.AgentID, m int, reached ...model.AgentID) *model.Pattern {
+	p := model.NewPattern(n, horizon)
+	ApplyCrash(p, i, m, reached...)
+	return p
+}
+
+// ApplyCrash applies a crash of agent i at time m to an existing pattern:
+// at time m agent i reaches only the agents in reached (plus itself); at
+// all later times within the horizon it reaches no one.
+func ApplyCrash(p *model.Pattern, i model.AgentID, m int, reached ...model.AgentID) {
+	ok := make(map[model.AgentID]bool, len(reached)+1)
+	ok[i] = true
+	for _, j := range reached {
+		ok[j] = true
+	}
+	if m < p.Horizon() {
+		for j := 0; j < p.N(); j++ {
+			if !ok[model.AgentID(j)] {
+				p.Drop(m, i, model.AgentID(j))
+			}
+		}
+	}
+	p.Silence(i, m+1, p.Horizon())
+	p.SetFaulty(i)
+}
+
+// RandomSO returns a random SO(t) pattern: a uniformly chosen number of
+// faulty agents in [0, t], a uniformly chosen faulty set of that size, and
+// each message from a faulty agent (other than self-messages) independently
+// dropped with probability dropProb.
+func RandomSO(rng *rand.Rand, n, t, horizon int, dropProb float64) *model.Pattern {
+	p := model.NewPattern(n, horizon)
+	numFaulty := rng.Intn(t + 1)
+	perm := rng.Perm(n)
+	for _, fi := range perm[:numFaulty] {
+		i := model.AgentID(fi)
+		p.SetFaulty(i)
+		for m := 0; m < horizon; m++ {
+			for j := 0; j < n; j++ {
+				if model.AgentID(j) == i {
+					continue
+				}
+				if rng.Float64() < dropProb {
+					p.Drop(m, i, model.AgentID(j))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// RandomCrash returns a random crash(t) pattern: a uniformly chosen number
+// of faulty agents in [0, t]; each crashes at a uniform time in [0, horizon]
+// (horizon meaning "never observably crashes") reaching a uniform subset of
+// the other agents in its crash round.
+func RandomCrash(rng *rand.Rand, n, t, horizon int) *model.Pattern {
+	p := model.NewPattern(n, horizon)
+	numFaulty := rng.Intn(t + 1)
+	perm := rng.Perm(n)
+	for _, fi := range perm[:numFaulty] {
+		i := model.AgentID(fi)
+		p.SetFaulty(i)
+		crash := rng.Intn(horizon + 1)
+		if crash == horizon {
+			continue // faulty but never observably crashes
+		}
+		var reached []model.AgentID
+		for j := 0; j < n; j++ {
+			if model.AgentID(j) != i && rng.Intn(2) == 0 {
+				reached = append(reached, model.AgentID(j))
+			}
+		}
+		ApplyCrash(p, i, crash, reached...)
+	}
+	return p
+}

@@ -1,0 +1,268 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestFailureFree(t *testing.T) {
+	p := FailureFree(4, 3)
+	if p.NumFaulty() != 0 {
+		t.Errorf("FailureFree has %d faulty agents", p.NumFaulty())
+	}
+	if err := model.SO(0).Admits(p); err != nil {
+		t.Errorf("SO(0) rejects the failure-free pattern: %v", err)
+	}
+}
+
+func TestSilent(t *testing.T) {
+	p := Silent(4, 3, 1, 2)
+	if p.NumFaulty() != 2 {
+		t.Fatalf("NumFaulty = %d, want 2", p.NumFaulty())
+	}
+	for m := 0; m < 3; m++ {
+		if p.Delivered(m, 1, 0) || p.Delivered(m, 2, 3) {
+			t.Errorf("silent agent delivered a message at time %d", m)
+		}
+		if !p.Delivered(m, 0, 1) {
+			t.Errorf("nonfaulty agent's message dropped at time %d", m)
+		}
+	}
+}
+
+func TestExample71(t *testing.T) {
+	p := Example71(20, 10, 12)
+	if p.NumFaulty() != 10 {
+		t.Fatalf("NumFaulty = %d, want 10", p.NumFaulty())
+	}
+	if err := model.SO(10).Admits(p); err != nil {
+		t.Errorf("SO(10) rejects Example 7.1 pattern: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if p.Nonfaulty(model.AgentID(i)) {
+			t.Errorf("agent %d should be faulty", i)
+		}
+		if p.Delivered(0, model.AgentID(i), 15) {
+			t.Errorf("faulty agent %d delivered a message", i)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if p.Faulty(model.AgentID(i)) {
+			t.Errorf("agent %d should be nonfaulty", i)
+		}
+	}
+}
+
+func TestExample71Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Example71 with t >= n did not panic")
+		}
+	}()
+	Example71(3, 3, 5)
+}
+
+func TestCrashAt(t *testing.T) {
+	p := CrashAt(4, 4, 2, 1, 0) // agent 2 crashes at time 1, reaching only agent 0
+	if err := model.Crash(1).Admits(p); err != nil {
+		t.Fatalf("Crash(1) rejects CrashAt pattern: %v", err)
+	}
+	if !p.Delivered(0, 2, 3) {
+		t.Error("pre-crash message dropped")
+	}
+	if !p.Delivered(1, 2, 0) {
+		t.Error("crash-round message to reached agent dropped")
+	}
+	if p.Delivered(1, 2, 3) {
+		t.Error("crash-round message to unreached agent delivered")
+	}
+	if p.Delivered(2, 2, 0) || p.Delivered(3, 2, 1) {
+		t.Error("post-crash message delivered")
+	}
+}
+
+func TestRandomSOWithinModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomSO(rng, 5, 2, 4, 0.5)
+		return model.SO(2).Admits(p) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomCrashWithinModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomCrash(rng, 5, 2, 4)
+		return model.Crash(2).Admits(p) == nil && model.SO(2).Admits(p) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSODeterministicForSeed(t *testing.T) {
+	p := RandomSO(rand.New(rand.NewSource(7)), 4, 2, 3, 0.3)
+	q := RandomSO(rand.New(rand.NewSource(7)), 4, 2, 3, 0.3)
+	if p.Key() != q.Key() {
+		t.Error("same seed produced different patterns")
+	}
+}
+
+func TestCountSOMatchesEnumeration(t *testing.T) {
+	want, err := CountSO(3, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+		got++
+		return true
+	})
+	if got != want {
+		t.Errorf("enumerated %d patterns, CountSO says %d", got, want)
+	}
+	// 1 (no faulty) + 3 faulty sets × 2^(2 rounds × 2 recipients) = 1 + 3·16 = 49.
+	if want != 49 {
+		t.Errorf("CountSO(3,1,2) = %d, want 49", want)
+	}
+}
+
+func TestEnumerateSOAllDistinctAndAdmitted(t *testing.T) {
+	seen := make(map[string]bool)
+	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+		k := p.Key()
+		if seen[k] {
+			t.Errorf("duplicate pattern %v", p)
+		}
+		seen[k] = true
+		if err := model.SO(1).Admits(p); err != nil {
+			t.Errorf("enumerated pattern outside SO(1): %v", err)
+		}
+		return true
+	})
+	if len(seen) != 49 {
+		t.Errorf("enumerated %d distinct patterns, want 49", len(seen))
+	}
+}
+
+func TestEnumerateSOEarlyStop(t *testing.T) {
+	count := 0
+	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("enumeration did not stop early: %d calls", count)
+	}
+}
+
+func TestEnumerateSOIncludeSelfDrops(t *testing.T) {
+	base, err := CountSO(2, 1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSelf, err := CountSO(2, 1, 1, Options{IncludeSelfDrops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=2, t=1, horizon=1: base = 1 + 2·2^1 = 5; with self = 1 + 2·2^2 = 9.
+	if base != 5 || withSelf != 9 {
+		t.Errorf("CountSO = %d / %d, want 5 / 9", base, withSelf)
+	}
+}
+
+func TestEnumerateSOMaxPatternsGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxPatterns guard did not fire")
+		}
+	}()
+	EnumerateSO(4, 2, 4, Options{MaxPatterns: 10}, func(*model.Pattern) bool { return true })
+}
+
+func TestEnumerateCrashDistinctAndAdmitted(t *testing.T) {
+	seen := make(map[string]bool)
+	EnumerateCrash(3, 1, 2, func(p *model.Pattern) bool {
+		k := p.Key()
+		if seen[k] {
+			t.Errorf("duplicate crash pattern %v", p)
+		}
+		seen[k] = true
+		if err := model.Crash(1).Admits(p); err != nil {
+			t.Errorf("enumerated pattern outside crash(1): %v", err)
+		}
+		return true
+	})
+	// Faulty sets: {} plus 3 singletons. Per faulty agent: crash at 0 or 1
+	// with a proper subset of the 2 others (3 choices each) plus "never":
+	// 2·3 + 1 = 7. Total = 1 + 3·7 = 22.
+	if len(seen) != 22 {
+		t.Errorf("enumerated %d crash patterns, want 22", len(seen))
+	}
+}
+
+func TestCrashEnumerationIsSubsetOfSO(t *testing.T) {
+	soKeys := make(map[string]bool)
+	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+		soKeys[p.Key()] = true
+		return true
+	})
+	EnumerateCrash(3, 1, 2, func(p *model.Pattern) bool {
+		if !soKeys[p.Key()] {
+			t.Errorf("crash pattern not in SO enumeration: %v", p)
+		}
+		return true
+	})
+}
+
+func TestEnumerateInits(t *testing.T) {
+	var got [][]model.Value
+	EnumerateInits(3, func(inits []model.Value) bool {
+		cp := make([]model.Value, len(inits))
+		copy(cp, inits)
+		got = append(got, cp)
+		return true
+	})
+	if len(got) != 8 {
+		t.Fatalf("enumerated %d init vectors, want 8", len(got))
+	}
+	if got[0][0] != model.Zero || got[0][1] != model.Zero || got[0][2] != model.Zero {
+		t.Errorf("first vector %v, want all zeros", got[0])
+	}
+	if got[5][0] != model.One || got[5][1] != model.Zero || got[5][2] != model.One {
+		t.Errorf("vector 5 = %v, want [1 0 1] (agent 0 = LSB)", got[5])
+	}
+	if got[7][0] != model.One || got[7][1] != model.One || got[7][2] != model.One {
+		t.Errorf("last vector %v, want all ones", got[7])
+	}
+}
+
+func TestUniformInits(t *testing.T) {
+	inits := UniformInits(4, model.One)
+	for i, v := range inits {
+		if v != model.One {
+			t.Errorf("inits[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestSubsetsUpTo(t *testing.T) {
+	got := subsetsUpTo(4, 2)
+	// 1 empty + 4 singletons + 6 pairs = 11.
+	if len(got) != 11 {
+		t.Fatalf("len = %d, want 11", len(got))
+	}
+	if len(got[0]) != 0 {
+		t.Error("first subset should be empty")
+	}
+	last := got[len(got)-1]
+	if len(last) != 2 || last[0] != 2 || last[1] != 3 {
+		t.Errorf("last subset = %v, want [2 3]", last)
+	}
+}

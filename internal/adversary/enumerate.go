@@ -1,0 +1,244 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Options controls exhaustive enumeration.
+type Options struct {
+	// IncludeSelfDrops also enumerates omissions of an agent's messages to
+	// itself. These are behaviorally invisible (footnote 3 of the paper);
+	// the default excludes them to keep the state space small.
+	IncludeSelfDrops bool
+
+	// MaxPatterns aborts enumeration (with a panic) if more than this many
+	// patterns would be produced; 0 means no limit. It guards against
+	// accidentally launching an infeasible exhaustive check.
+	MaxPatterns int64
+}
+
+// slot identifies one droppable message: sent by From to To at time M.
+type slot struct {
+	M        int
+	From, To model.AgentID
+}
+
+// slotsFor lists the droppable message slots for a given faulty set.
+func slotsFor(n, horizon int, faulty []model.AgentID, includeSelf bool) []slot {
+	var out []slot
+	for m := 0; m < horizon; m++ {
+		for _, i := range faulty {
+			for j := 0; j < n; j++ {
+				if !includeSelf && model.AgentID(j) == i {
+					continue
+				}
+				out = append(out, slot{M: m, From: i, To: model.AgentID(j)})
+			}
+		}
+	}
+	return out
+}
+
+// CountSO returns the number of patterns EnumerateSO will produce, or an
+// error if the count overflows int64.
+func CountSO(n, t, horizon int, opts Options) (int64, error) {
+	total := int64(0)
+	for _, faulty := range subsetsUpTo(n, t) {
+		recips := n - 1
+		if opts.IncludeSelfDrops {
+			recips = n
+		}
+		bits := horizon * len(faulty) * recips
+		if bits >= 62 {
+			return 0, fmt.Errorf("adversary: 2^%d drop combinations overflow", bits)
+		}
+		c := int64(1) << bits
+		if total > math.MaxInt64-c {
+			return 0, fmt.Errorf("adversary: pattern count overflows int64")
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// EnumerateSO calls fn for every failure pattern in SO(t) over n agents and
+// the given horizon: every faulty set of size at most t (including faulty
+// agents that drop nothing) combined with every subset of droppable
+// messages. Enumeration stops early if fn returns false. The pattern passed
+// to fn is reused across calls; clone it if it must be retained.
+func EnumerateSO(n, t, horizon int, opts Options, fn func(*model.Pattern) bool) {
+	if opts.MaxPatterns > 0 {
+		c, err := CountSO(n, t, horizon, opts)
+		if err != nil || c > opts.MaxPatterns {
+			panic(fmt.Sprintf("adversary: enumeration too large (count=%d, err=%v, limit=%d)",
+				c, err, opts.MaxPatterns))
+		}
+	}
+	for _, faulty := range subsetsUpTo(n, t) {
+		slots := slotsFor(n, horizon, faulty, opts.IncludeSelfDrops)
+		if len(slots) >= 62 {
+			panic(fmt.Sprintf("adversary: %d drop slots cannot be enumerated", len(slots)))
+		}
+		p := model.NewPattern(n, horizon)
+		for _, i := range faulty {
+			p.SetFaulty(i)
+		}
+		if !enumerateDrops(p, slots, fn) {
+			return
+		}
+	}
+}
+
+// enumerateDrops iterates all 2^len(slots) drop subsets on top of the base
+// pattern p (whose faulty set is already fixed). It reports whether
+// enumeration ran to completion.
+func enumerateDrops(p *model.Pattern, slots []slot, fn func(*model.Pattern) bool) bool {
+	total := uint64(1) << len(slots)
+	for mask := uint64(0); mask < total; mask++ {
+		q := p.Clone()
+		for b, s := range slots {
+			if mask&(1<<uint(b)) != 0 {
+				q.Drop(s.M, s.From, s.To)
+			}
+		}
+		if !fn(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateCrash calls fn for every crash(t) pattern over n agents and the
+// given horizon. For each faulty agent the enumeration chooses a crash time
+// c in [0, horizon] (horizon meaning "never observably crashes") and, for
+// c < horizon, a proper subset of the other agents reached in the crash
+// round. Every distinct crash drop-pattern is produced exactly once.
+func EnumerateCrash(n, t, horizon int, fn func(*model.Pattern) bool) {
+	for _, faulty := range subsetsUpTo(n, t) {
+		if !enumerateCrashBehaviors(n, horizon, faulty, fn) {
+			return
+		}
+	}
+}
+
+// crashBehavior is one faulty agent's crash choice.
+type crashBehavior struct {
+	at      int    // crash time, or horizon for "never"
+	reached uint64 // bitmask over other agents reached in the crash round
+}
+
+func enumerateCrashBehaviors(n, horizon int, faulty []model.AgentID, fn func(*model.Pattern) bool) bool {
+	behaviors := make([]crashBehavior, len(faulty))
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(faulty) {
+			p := model.NewPattern(n, horizon)
+			for bi, i := range faulty {
+				p.SetFaulty(i)
+				b := behaviors[bi]
+				if b.at == horizon {
+					continue
+				}
+				var reached []model.AgentID
+				bit := 0
+				for j := 0; j < n; j++ {
+					if model.AgentID(j) == i {
+						continue
+					}
+					if b.reached&(1<<uint(bit)) != 0 {
+						reached = append(reached, model.AgentID(j))
+					}
+					bit++
+				}
+				ApplyCrash(p, i, b.at, reached...)
+			}
+			return fn(p)
+		}
+		for at := 0; at <= horizon; at++ {
+			if at == horizon {
+				behaviors[k] = crashBehavior{at: at}
+				if !rec(k + 1) {
+					return false
+				}
+				continue
+			}
+			// Proper subsets only: reaching everyone at time `at` is the
+			// same drop-pattern as crashing later, which another iteration
+			// produces.
+			full := uint64(1)<<(n-1) - 1
+			for mask := uint64(0); mask < full; mask++ {
+				behaviors[k] = crashBehavior{at: at, reached: mask}
+				if !rec(k + 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// subsetsUpTo returns all subsets of {0..n-1} of size at most t, as sorted
+// slices, in a deterministic order (by size, then lexicographically).
+func subsetsUpTo(n, t int) [][]model.AgentID {
+	var out [][]model.AgentID
+	for size := 0; size <= t && size <= n; size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			set := make([]model.AgentID, size)
+			for i, v := range idx {
+				set[i] = model.AgentID(v)
+			}
+			out = append(out, set)
+			// Advance the combination.
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for k := i + 1; k < size; k++ {
+				idx[k] = idx[k-1] + 1
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateInits calls fn for every assignment of initial preferences to n
+// agents (2^n vectors), in increasing binary order with agent 0 as the
+// least-significant bit. The slice passed to fn is reused; copy it if it
+// must be retained. Enumeration stops early if fn returns false.
+func EnumerateInits(n int, fn func([]model.Value) bool) {
+	inits := make([]model.Value, n)
+	total := uint64(1) << n
+	for mask := uint64(0); mask < total; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				inits[i] = model.One
+			} else {
+				inits[i] = model.Zero
+			}
+		}
+		if !fn(inits) {
+			return
+		}
+	}
+}
+
+// UniformInits returns an n-vector with every agent holding value v.
+func UniformInits(n int, v model.Value) []model.Value {
+	inits := make([]model.Value, n)
+	for i := range inits {
+		inits[i] = v
+	}
+	return inits
+}

@@ -1,0 +1,149 @@
+// Package conformance checks that an information-exchange protocol
+// satisfies the EBA-context conventions of Section 5 of the paper, which
+// every result in the paper (and every component in this repository)
+// relies on:
+//
+//  1. initial states are ⟨0, init, ⊥, ⊥, …⟩;
+//  2. δ advances the time component by exactly one per round;
+//  3. the message classes are disjoint and action-determined: a decide-0
+//     round sends only M0 messages, a decide-1 round only M1 messages, and
+//     every other round only M2 messages (Announces reports the class);
+//  4. δ records decisions in the decided component and never un-decides;
+//  5. jd reflects the decide announcements received in the last round;
+//  6. δ is a function: equal states, actions, and inboxes give equal
+//     successor states (checked by re-application).
+//
+// Downstream users adding their own exchange protocols can run
+// CheckExchange against them before pairing them with the action
+// protocols in this repository.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// CheckExchange drives the exchange through `trials` random rounds per
+// trial configuration and reports every convention violation found (nil
+// means conformant). The action inputs are arbitrary — conventions must
+// hold for every action protocol, not just the intended one.
+func CheckExchange(ex model.Exchange, seed int64, trials int) []string {
+	var out []string
+	report := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := ex.N()
+
+	for trial := 0; trial < trials; trial++ {
+		states := make([]model.State, n)
+		for i := 0; i < n; i++ {
+			init := model.Value(rng.Intn(2))
+			states[i] = ex.Initial(model.AgentID(i), init)
+			s := states[i]
+			if s.Time() != 0 || s.Init() != init || s.Decided() != model.None || s.JustDecided() != model.None {
+				report("trial %d: initial state of agent %d is not ⟨0, %v, ⊥, ⊥⟩: %s",
+					trial, i, init, s.Key())
+			}
+		}
+
+		rounds := 2 + rng.Intn(4)
+		for m := 0; m < rounds; m++ {
+			// Random actions, biased toward noop so runs stay plausible.
+			acts := make([]model.Action, n)
+			for i := range acts {
+				if states[i].Decided() == model.None && rng.Intn(4) == 0 {
+					acts[i] = model.Decide(model.Value(rng.Intn(2)))
+				}
+			}
+
+			outbox := make([][]model.Message, n)
+			for i := 0; i < n; i++ {
+				outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
+				if len(outbox[i]) != n {
+					report("trial %d round %d: agent %d sent %d messages for %d agents",
+						trial, m, i, len(outbox[i]), n)
+					return out
+				}
+				// Convention 3: the class of every message matches the action.
+				want := acts[i].Decision()
+				for j, msg := range outbox[i] {
+					if msg == nil {
+						if want.IsSet() {
+							report("trial %d round %d: agent %d decided %v but sent ⊥ to %d",
+								trial, m, i, want, j)
+						}
+						continue
+					}
+					if msg.Announces() != want {
+						report("trial %d round %d: agent %d action %v sent class-%v message",
+							trial, m, i, acts[i], msg.Announces())
+					}
+					if msg.Bits() <= 0 {
+						report("trial %d round %d: agent %d message with non-positive size", trial, m, i)
+					}
+				}
+			}
+
+			// Random omissions.
+			inbox := make([][]model.Message, n)
+			for j := 0; j < n; j++ {
+				inbox[j] = make([]model.Message, n)
+				for i := 0; i < n; i++ {
+					if msg := outbox[i][j]; msg != nil && (i == j || rng.Intn(3) != 0) {
+						inbox[j][i] = msg
+					}
+				}
+			}
+
+			for i := 0; i < n; i++ {
+				prev := states[i]
+				next := ex.Update(model.AgentID(i), prev, acts[i], inbox[i])
+				// Convention 2: time advances by one.
+				if next.Time() != prev.Time()+1 {
+					report("trial %d round %d: agent %d time %d → %d", trial, m, i, prev.Time(), next.Time())
+				}
+				// Convention 4: decisions recorded, never lost.
+				if d := acts[i].Decision(); d.IsSet() && next.Decided() != d {
+					report("trial %d round %d: agent %d decided %v but state records %v",
+						trial, m, i, d, next.Decided())
+				}
+				if prev.Decided().IsSet() && !acts[i].IsDecide() && next.Decided() != prev.Decided() {
+					report("trial %d round %d: agent %d lost its decision", trial, m, i)
+				}
+				// Convention 5: jd reflects received announcements, 0 first.
+				wantJD := model.None
+				for _, msg := range inbox[i] {
+					if msg == nil {
+						continue
+					}
+					switch msg.Announces() {
+					case model.Zero:
+						wantJD = model.Zero
+					case model.One:
+						if wantJD == model.None {
+							wantJD = model.One
+						}
+					}
+				}
+				if next.JustDecided() != wantJD {
+					report("trial %d round %d: agent %d jd = %v, want %v",
+						trial, m, i, next.JustDecided(), wantJD)
+				}
+				// Convention 6: δ is a function of its inputs.
+				again := ex.Update(model.AgentID(i), prev, acts[i], inbox[i])
+				if again.Key() != next.Key() {
+					report("trial %d round %d: agent %d δ is not deterministic", trial, m, i)
+				}
+				// Init is immutable.
+				if next.Init() != prev.Init() {
+					report("trial %d round %d: agent %d initial preference changed", trial, m, i)
+				}
+				states[i] = next
+			}
+		}
+	}
+	return out
+}

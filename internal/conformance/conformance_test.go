@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+func TestAllExchangesConform(t *testing.T) {
+	for _, ex := range []model.Exchange{
+		exchange.NewMin(4),
+		exchange.NewBasic(4),
+		exchange.NewReport(4),
+		exchange.NewFIP(4),
+	} {
+		if vs := CheckExchange(ex, 42, 40); len(vs) != 0 {
+			t.Errorf("%s violates the EBA-context conventions:\n  %s",
+				ex.Name(), strings.Join(vs, "\n  "))
+		}
+	}
+}
+
+// brokenExchange wraps Min but mislabels decide-1 messages as class M2 —
+// the kind of mistake the conformance harness exists to catch.
+type brokenExchange struct {
+	*exchange.Min
+}
+
+type mislabeled struct{ inner model.Message }
+
+func (m mislabeled) Announces() model.Value { return model.None }
+func (m mislabeled) Bits() int              { return m.inner.Bits() }
+func (m mislabeled) String() string         { return m.inner.String() }
+
+func (e brokenExchange) Messages(i model.AgentID, s model.State, a model.Action) []model.Message {
+	out := e.Min.Messages(i, s, a)
+	if a == model.Decide1 {
+		for j, msg := range out {
+			if msg != nil {
+				out[j] = mislabeled{inner: msg}
+			}
+		}
+	}
+	return out
+}
+
+func TestConformanceCatchesMislabeledClass(t *testing.T) {
+	vs := CheckExchange(brokenExchange{exchange.NewMin(3)}, 7, 40)
+	if len(vs) == 0 {
+		t.Fatal("mislabeled message class not detected")
+	}
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v, "class") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations do not mention the class mismatch: %v", vs)
+	}
+}
+
+// frozenTimeExchange never advances time.
+type frozenTimeExchange struct {
+	*exchange.Min
+}
+
+func (e frozenTimeExchange) Update(i model.AgentID, s model.State, a model.Action, recv []model.Message) model.State {
+	return s
+}
+
+func TestConformanceCatchesFrozenTime(t *testing.T) {
+	vs := CheckExchange(frozenTimeExchange{exchange.NewMin(3)}, 7, 5)
+	if len(vs) == 0 {
+		t.Fatal("frozen time not detected")
+	}
+}

@@ -1,0 +1,139 @@
+// Package core assembles the paper's protocol stacks — an
+// information-exchange protocol paired with the action protocol that is
+// optimal with respect to it — and provides the high-level entry points
+// the examples, benchmarks, and command-line tools are built on.
+//
+// The three stacks of the paper:
+//
+//	Min(n, t)   = ⟨Emin(n),  P_min⟩   — n² bits per run, decides by t+2
+//	Basic(n, t) = ⟨Ebasic(n), P_basic⟩ — O(n²t) bits, round 2 when failure-free
+//	FIP(n, t)   = ⟨Efip(n),  P_opt⟩   — O(n⁴t²) bits, optimal (Corollary 7.8)
+//
+// plus Naive(n, t), the introduction's counterexample protocol over the
+// report exchange, which is NOT an EBA protocol under omission failures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/engine"
+	"repro/internal/episteme"
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+// Stack is a complete protocol: an information-exchange protocol together
+// with a matching action protocol and the failure bound they are
+// configured for.
+type Stack struct {
+	// Name identifies the stack ("min", "basic", "fip", "naive").
+	Name string
+	// Exchange is the information-exchange protocol E.
+	Exchange model.Exchange
+	// Action is the action protocol P.
+	Action model.ActionProtocol
+	// N is the number of agents, T the failure bound.
+	N, T int
+}
+
+// Min returns the minimal stack ⟨Emin(n), P_min⟩ of Section 6.
+func Min(n, t int) Stack {
+	return Stack{Name: "min", Exchange: exchange.NewMin(n), Action: action.NewMin(t), N: n, T: t}
+}
+
+// Basic returns the basic stack ⟨Ebasic(n), P_basic⟩ of Section 6.
+func Basic(n, t int) Stack {
+	return Stack{Name: "basic", Exchange: exchange.NewBasic(n), Action: action.NewBasic(n), N: n, T: t}
+}
+
+// FIP returns the full-information stack ⟨Efip(n), P_opt⟩ of Section 7.
+func FIP(n, t int) Stack {
+	return Stack{Name: "fip", Exchange: exchange.NewFIP(n), Action: action.NewOpt(t), N: n, T: t}
+}
+
+// FIPWithMin returns ⟨Efip(n), P_min⟩: the full-information exchange
+// driven by the minimal decision rule. It pays full-information message
+// costs without the optimal decision times — used by the complexity
+// benchmarks to measure exchange cost independently of P_opt's compute,
+// and by the optimality experiments as a correct-but-dominated baseline.
+func FIPWithMin(n, t int) Stack {
+	return Stack{Name: "fip+pmin", Exchange: exchange.NewFIP(n), Action: action.NewMin(t), N: n, T: t}
+}
+
+// FIPNoCK returns the ablated full-information stack ⟨Efip(n),
+// P_opt-without-common-knowledge⟩: an implementation of P0 over full
+// information. Correct but not optimal; experiment E15 quantifies what
+// the common-knowledge guards buy.
+func FIPNoCK(n, t int) Stack {
+	return Stack{Name: "fip-nock", Exchange: exchange.NewFIP(n), Action: action.NewOptNoCK(t), N: n, T: t}
+}
+
+// Naive returns the introduction's counterexample stack ⟨Ereport(n),
+// P_naive⟩, which violates Agreement under omission failures.
+func Naive(n, t int) Stack {
+	return Stack{Name: "naive", Exchange: exchange.NewReport(n), Action: action.NewNaive(t), N: n, T: t}
+}
+
+// Horizon is the number of rounds after which every EBA stack has decided:
+// t+2 (Proposition 6.1).
+func (s Stack) Horizon() int { return s.T + 2 }
+
+// Run executes the stack sequentially under the failure pattern with the
+// given initial preferences.
+func (s Stack) Run(pat *model.Pattern, inits []model.Value) (*engine.Result, error) {
+	return engine.Run(engine.Config{
+		Exchange: s.Exchange,
+		Action:   s.Action,
+		Pattern:  pat,
+		Inits:    inits,
+		Horizon:  s.Horizon(),
+	})
+}
+
+// RunConcurrent executes the stack with one goroutine per agent; the
+// result is identical to Run's.
+func (s Stack) RunConcurrent(pat *model.Pattern, inits []model.Value) (*engine.Result, error) {
+	return runtime.Run(engine.Config{
+		Exchange: s.Exchange,
+		Action:   s.Action,
+		Pattern:  pat,
+		Inits:    inits,
+		Horizon:  s.Horizon(),
+	})
+}
+
+// EpistemeContext returns the model-checking context for the stack's EBA
+// context (exhaustive SO(T) enumeration at horizon T+2).
+func (s Stack) EpistemeContext() episteme.Context {
+	return episteme.Context{Exchange: s.Exchange, T: s.T, Horizon: s.Horizon()}
+}
+
+// BuildSystem builds the stack's interpreted system by exhaustive
+// enumeration (small n and t only).
+func (s Stack) BuildSystem() (*episteme.System, error) {
+	return episteme.BuildSystem(s.EpistemeContext(), s.Action)
+}
+
+// Scenario is one (pattern, inits) input shared by corresponding runs.
+type Scenario struct {
+	// Pattern is the failure pattern.
+	Pattern *model.Pattern
+	// Inits holds the initial preferences.
+	Inits []model.Value
+}
+
+// RunScenarios executes the stack on each scenario, preserving order, so
+// that the result sets of two stacks correspond run-by-run.
+func (s Stack) RunScenarios(scenarios []Scenario) ([]*engine.Result, error) {
+	out := make([]*engine.Result, len(scenarios))
+	for k, sc := range scenarios {
+		res, err := s.Run(sc.Pattern, sc.Inits)
+		if err != nil {
+			return nil, fmt.Errorf("core: scenario %d: %w", k, err)
+		}
+		out[k] = res
+	}
+	return out, nil
+}

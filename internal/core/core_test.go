@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func TestStackConstructors(t *testing.T) {
+	cases := []struct {
+		stack Stack
+		name  string
+	}{
+		{Min(4, 1), "min"},
+		{Basic(4, 1), "basic"},
+		{FIP(4, 1), "fip"},
+		{FIPWithMin(4, 1), "fip+pmin"},
+		{Naive(4, 1), "naive"},
+	}
+	for _, c := range cases {
+		if c.stack.Name != c.name {
+			t.Errorf("stack name %q, want %q", c.stack.Name, c.name)
+		}
+		if c.stack.N != 4 || c.stack.T != 1 || c.stack.Horizon() != 3 {
+			t.Errorf("%s: unexpected dims n=%d t=%d h=%d", c.name, c.stack.N, c.stack.T, c.stack.Horizon())
+		}
+	}
+}
+
+func TestStackRunAndConcurrentAgree(t *testing.T) {
+	for _, mk := range []func(int, int) Stack{Min, Basic, FIP} {
+		st := mk(4, 1)
+		pat := adversary.Silent(4, st.Horizon(), 2)
+		inits := []model.Value{model.One, model.Zero, model.One, model.One}
+		seq, err := st.Run(pat, inits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := st.RunConcurrent(pat, inits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			id := model.AgentID(i)
+			if seq.Decided(id) != conc.Decided(id) || seq.Round(id) != conc.Round(id) {
+				t.Errorf("%s: sequential and concurrent runs disagree for agent %d", st.Name, i)
+			}
+		}
+		if vs := spec.CheckRun(seq, spec.Options{RoundBound: st.Horizon()}); len(vs) != 0 {
+			t.Errorf("%s: EBA violations: %v", st.Name, vs)
+		}
+	}
+}
+
+func TestRunScenariosPreservesOrder(t *testing.T) {
+	st := Min(3, 1)
+	scenarios := []Scenario{
+		{Pattern: adversary.FailureFree(3, st.Horizon()), Inits: adversary.UniformInits(3, model.One)},
+		{Pattern: adversary.Silent(3, st.Horizon(), 0), Inits: adversary.UniformInits(3, model.Zero)},
+	}
+	runs, err := st.RunScenarios(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	if runs[0].Decided(0) != model.One || runs[1].Decided(1) != model.Zero {
+		t.Error("scenario order not preserved")
+	}
+}
+
+func TestRunScenariosPropagatesError(t *testing.T) {
+	st := Min(3, 1)
+	scenarios := []Scenario{
+		{Pattern: adversary.FailureFree(4, 3), Inits: adversary.UniformInits(3, model.One)},
+	}
+	if _, err := st.RunScenarios(scenarios); err == nil {
+		t.Error("size mismatch not reported")
+	}
+}
+
+func TestBuildSystemViaStack(t *testing.T) {
+	sys, err := Min(3, 1).BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Runs) == 0 {
+		t.Error("empty system")
+	}
+}

@@ -1,0 +1,238 @@
+// Package engine executes a protocol stack — an information-exchange
+// protocol paired with an action protocol — under a failure pattern, one
+// synchronized round at a time, exactly as Section 3 of the paper
+// prescribes: at each time m every agent performs the action chosen by its
+// action protocol, the exchange protocol selects messages (μ), the failure
+// pattern filters deliveries (F), and every agent updates its local state
+// (δ).
+//
+// The engine is deterministic and sequential; internal/runtime provides an
+// equivalent concurrent execution with one goroutine per agent and is
+// tested to produce byte-identical traces.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Config describes one execution.
+type Config struct {
+	// Exchange is the information-exchange protocol E.
+	Exchange model.Exchange
+	// Action is the action protocol P.
+	Action model.ActionProtocol
+	// Pattern is the failure pattern (the adversary).
+	Pattern *model.Pattern
+	// Inits holds each agent's initial preference; length must equal the
+	// number of agents and every entry must be 0 or 1.
+	Inits []model.Value
+	// Horizon is the number of rounds to execute. Zero means "use the
+	// pattern's horizon".
+	Horizon int
+}
+
+// Stats aggregates message traffic for the complexity experiments
+// (Proposition 8.1). Senders are charged for every non-⊥ message they
+// emit whether or not the adversary delivers it.
+type Stats struct {
+	// MessagesSent counts non-⊥ messages handed to the network.
+	MessagesSent int
+	// MessagesDelivered counts messages that reached their recipient.
+	MessagesDelivered int
+	// BitsSent is the total wire size of sent messages.
+	BitsSent int64
+	// BitsDelivered is the total wire size of delivered messages.
+	BitsDelivered int64
+}
+
+// Result is a completed run: the full state and action trace plus the
+// decision ledger and traffic statistics.
+type Result struct {
+	// N is the number of agents.
+	N int
+	// Horizon is the number of rounds executed.
+	Horizon int
+	// Pattern is the adversary the run was executed against.
+	Pattern *model.Pattern
+	// Inits records the initial preferences.
+	Inits []model.Value
+	// States[m][i] is agent i's local state at time m, for m in 0..Horizon.
+	States [][]model.State
+	// Actions[m][i] is the action agent i performed at time m (i.e. in
+	// round m+1), for m in 0..Horizon-1.
+	Actions [][]model.Action
+	// Decision[i] is the first value agent i decided, or None.
+	Decision []model.Value
+	// DecisionRound[i] is the round in which agent i first decided (the
+	// deciding action happens at time DecisionRound[i]-1), or 0 if it
+	// never decided.
+	DecisionRound []int
+	// Stats aggregates message traffic.
+	Stats Stats
+}
+
+// Run executes the configuration and returns the completed run.
+func Run(cfg Config) (*Result, error) {
+	ex, act, pat := cfg.Exchange, cfg.Action, cfg.Pattern
+	if ex == nil || act == nil || pat == nil {
+		return nil, errors.New("engine: Exchange, Action, and Pattern are all required")
+	}
+	n := ex.N()
+	if pat.N() != n {
+		return nil, fmt.Errorf("engine: pattern is for %d agents, exchange for %d", pat.N(), n)
+	}
+	if len(cfg.Inits) != n {
+		return nil, fmt.Errorf("engine: %d initial values for %d agents", len(cfg.Inits), n)
+	}
+	for i, v := range cfg.Inits {
+		if !v.IsSet() {
+			return nil, fmt.Errorf("engine: agent %d has no initial preference", i)
+		}
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = pat.Horizon()
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("engine: negative horizon %d", horizon)
+	}
+
+	res := &Result{
+		N:             n,
+		Horizon:       horizon,
+		Pattern:       pat,
+		Inits:         append([]model.Value(nil), cfg.Inits...),
+		States:        make([][]model.State, horizon+1),
+		Actions:       make([][]model.Action, horizon),
+		Decision:      make([]model.Value, n),
+		DecisionRound: make([]int, n),
+	}
+	for i := range res.Decision {
+		res.Decision[i] = model.None
+	}
+
+	cur := make([]model.State, n)
+	for i := 0; i < n; i++ {
+		cur[i] = ex.Initial(model.AgentID(i), cfg.Inits[i])
+	}
+	res.States[0] = append([]model.State(nil), cur...)
+
+	for m := 0; m < horizon; m++ {
+		// Every agent chooses its action from its time-m state.
+		acts := make([]model.Action, n)
+		for i := 0; i < n; i++ {
+			acts[i] = act.Act(model.AgentID(i), cur[i])
+			if d := acts[i].Decision(); d.IsSet() && res.Decision[i] == model.None {
+				res.Decision[i] = d
+				res.DecisionRound[i] = m + 1
+			}
+		}
+		res.Actions[m] = acts
+
+		next, stats, err := Step(ex, pat, m, cur, acts)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.MessagesSent += stats.MessagesSent
+		res.Stats.MessagesDelivered += stats.MessagesDelivered
+		res.Stats.BitsSent += stats.BitsSent
+		res.Stats.BitsDelivered += stats.BitsDelivered
+		cur = next
+		res.States[m+1] = append([]model.State(nil), cur...)
+	}
+	return res, nil
+}
+
+// Step executes one synchronous round (round m+1): μ selects the messages
+// each agent sends given its chosen action, the failure pattern filters
+// deliveries, and δ produces the time-m+1 states. It is the common kernel
+// of Run and of the knowledge-based-program builder in internal/episteme,
+// which must choose actions by evaluating knowledge tests between rounds.
+func Step(ex model.Exchange, pat *model.Pattern, m int, states []model.State, acts []model.Action) ([]model.State, Stats, error) {
+	n := ex.N()
+	var stats Stats
+	outbox := make([][]model.Message, n)
+	for i := 0; i < n; i++ {
+		outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
+		if len(outbox[i]) != n {
+			return nil, stats, fmt.Errorf("engine: %s.Messages returned %d entries for %d agents",
+				ex.Name(), len(outbox[i]), n)
+		}
+		for _, msg := range outbox[i] {
+			if msg != nil {
+				stats.MessagesSent++
+				stats.BitsSent += int64(msg.Bits())
+			}
+		}
+	}
+
+	inbox := make([][]model.Message, n)
+	for j := 0; j < n; j++ {
+		inbox[j] = make([]model.Message, n)
+		for i := 0; i < n; i++ {
+			msg := outbox[i][j]
+			if msg != nil && !pat.Delivered(m, model.AgentID(i), model.AgentID(j)) {
+				msg = nil
+			}
+			inbox[j][i] = msg
+			if msg != nil {
+				stats.MessagesDelivered++
+				stats.BitsDelivered += int64(msg.Bits())
+			}
+		}
+	}
+
+	next := make([]model.State, n)
+	for i := 0; i < n; i++ {
+		next[i] = ex.Update(model.AgentID(i), states[i], acts[i], inbox[i])
+		if got := next[i].Time(); got != m+1 {
+			return nil, stats, fmt.Errorf("engine: %s.Update produced time %d at time %d",
+				ex.Name(), got, m+1)
+		}
+	}
+	return next, stats, nil
+}
+
+// MustRun is Run for call sites where a configuration error is a bug.
+func MustRun(cfg Config) *Result {
+	res, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Decided reports agent i's first decision (None if it never decided).
+func (r *Result) Decided(i model.AgentID) model.Value { return r.Decision[i] }
+
+// Round reports the round in which agent i first decided, or 0.
+func (r *Result) Round(i model.AgentID) int { return r.DecisionRound[i] }
+
+// AllNonfaultyDecided reports whether every nonfaulty agent decided.
+func (r *Result) AllNonfaultyDecided() bool {
+	for i := 0; i < r.N; i++ {
+		if r.Pattern.Nonfaulty(model.AgentID(i)) && r.Decision[i] == model.None {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDecisionRound returns the latest round in which any agent decided
+// (0 if no agent decided). If nonfaultyOnly is set, faulty agents are
+// ignored.
+func (r *Result) MaxDecisionRound(nonfaultyOnly bool) int {
+	maxRound := 0
+	for i := 0; i < r.N; i++ {
+		if nonfaultyOnly && !r.Pattern.Nonfaulty(model.AgentID(i)) {
+			continue
+		}
+		if r.DecisionRound[i] > maxRound {
+			maxRound = r.DecisionRound[i]
+		}
+	}
+	return maxRound
+}

@@ -1,0 +1,242 @@
+package episteme
+
+import (
+	"math/bits"
+
+	"repro/internal/model"
+)
+
+// cnLayer is the condensation of one time slice's C_N accessibility
+// graph: q → q' iff some agent j nonfaulty at q cannot distinguish q from
+// q'. To keep the edge count linear, the graph routes through class nodes:
+// run r → class(j, key_j(r)) for each j ∈ N(r), and class(j, key) → every
+// run in that class. Strongly connected components are condensed; queries
+// then walk the DAG.
+type cnLayer struct {
+	// comp maps each run to its component id.
+	comp []int
+	// next is the deduplicated component DAG (successors).
+	next [][]int
+	// members lists the runs in each component (class-node components may
+	// be empty).
+	members [][]int
+	// reach caches, per source component, the closure of reachable runs.
+	reach map[int][]int
+}
+
+// cnLayerAt builds (and memoizes) the condensation for time m.
+func (s *System) cnLayerAt(m int) *cnLayer {
+	if s.cnLayers == nil {
+		s.cnLayers = make(map[int]*cnLayer)
+	}
+	if l, ok := s.cnLayers[m]; ok {
+		return l
+	}
+
+	// Assemble the node set: runs, then class nodes.
+	type classID struct {
+		agent int
+		key   string
+	}
+	classIdx := make(map[classID]int)
+	adj := make([][]int, len(s.Runs))
+	var classRuns [][]int
+	nodeOf := func(c classID) int {
+		if id, ok := classIdx[c]; ok {
+			return id
+		}
+		id := len(s.Runs) + len(classRuns)
+		classIdx[c] = id
+		classRuns = append(classRuns, s.SameState(model.AgentID(c.agent), m, c.key))
+		adj = append(adj, nil)
+		return id
+	}
+	for r := range s.Runs {
+		p := Point{Run: r, Time: m}
+		for i := 0; i < s.N; i++ {
+			id := model.AgentID(i)
+			if !s.Nonfaulty(id, p) {
+				continue
+			}
+			adj[r] = append(adj[r], nodeOf(classID{agent: i, key: s.Key(id, p)}))
+		}
+	}
+	for c, runs := range classRuns {
+		adj[len(s.Runs)+c] = runs
+	}
+
+	comp := tarjanSCC(adj)
+	nComp := 0
+	for _, c := range comp {
+		if c+1 > nComp {
+			nComp = c + 1
+		}
+	}
+	layer := &cnLayer{
+		comp:    comp[:len(s.Runs)],
+		next:    make([][]int, nComp),
+		members: make([][]int, nComp),
+		reach:   make(map[int][]int),
+	}
+	seen := make(map[[2]int]bool)
+	for v, outs := range adj {
+		cv := comp[v]
+		for _, w := range outs {
+			cw := comp[w]
+			if cv != cw && !seen[[2]int{cv, cw}] {
+				seen[[2]int{cv, cw}] = true
+				layer.next[cv] = append(layer.next[cv], cw)
+			}
+		}
+	}
+	for r := range s.Runs {
+		c := comp[r]
+		layer.members[c] = append(layer.members[c], r)
+	}
+	s.cnLayers[m] = layer
+	return layer
+}
+
+// tarjanSCC computes strongly connected components (iteratively, to be
+// safe on deep graphs), returning a component id per node. Component ids
+// are in reverse topological order of the condensation.
+func tarjanSCC(adj [][]int) []int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	counter, nComp := 0, 0
+
+	type frame struct{ v, child int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start], low[start] = counter, counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.child < len(adj[f.v]) {
+				w := adj[f.v][f.child]
+				f.child++
+				if index[w] == -1 {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// CNReachable returns the runs whose time-p.Time points are reachable from
+// p in one or more steps of the C_N accessibility relation. Reachability
+// is served from the per-time condensation; closures are cached per
+// source component.
+func (s *System) CNReachable(p Point) []int {
+	layer := s.cnLayerAt(p.Time)
+	src := layer.comp[p.Run]
+	if out, ok := layer.reach[src]; ok {
+		return out
+	}
+	visited := make(map[int]bool)
+	var out []int
+	var stack []int
+	push := func(c int) {
+		if !visited[c] {
+			visited[c] = true
+			stack = append(stack, c)
+		}
+	}
+	// ≥1 step: start from the successors of src — but src's own component
+	// is reachable whenever it lies on a cycle, which it always does here
+	// (a nonfaulty agent's self-indistinguishability routes r back to r
+	// through its class node, and N is nonempty since t < n). Components
+	// containing runs always have such a cycle, so include src.
+	push(src)
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, layer.members[c]...)
+		for _, d := range layer.next[c] {
+			push(d)
+		}
+	}
+	layer.reach[src] = out
+	return out
+}
+
+// faultyMask returns the faulty set of a run as a bitmask.
+func (s *System) faultyMask(run int) uint64 {
+	var mask uint64
+	pat := s.Runs[run].Pattern
+	for i := 0; i < s.N; i++ {
+		if pat.Faulty(model.AgentID(i)) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// CKTFaulty evaluates the paper's C_N(t-faulty ∧ no-decided_N(1−v) ∧ ∃v)
+// at q. Unfolding the t-faulty abbreviation, the formula asks for a set A
+// of exactly t agents such that C_N holds of "every agent in A is faulty,
+// no nonfaulty agent has decided 1−v, and some agent started with v". Such
+// an A exists iff the intersection of the faulty sets over every
+// C_N-reachable point has at least t members.
+func (s *System) CKTFaulty(q Point, v model.Value) bool {
+	reach := s.CNReachable(q)
+	if len(reach) == 0 {
+		return false
+	}
+	inter := ^uint64(0)
+	for _, run := range reach {
+		pt := Point{Run: run, Time: q.Time}
+		if !s.NoDecidedN(v.Flip(), pt) || !s.Exists(v, pt) {
+			return false
+		}
+		inter &= s.faultyMask(run)
+	}
+	return bits.OnesCount64(inter) >= s.T
+}
+
+// KnowsCK evaluates K_i(C_N(t-faulty ∧ no-decided_N(1−v) ∧ ∃v)) at p:
+// the common-knowledge guard of the knowledge-based program P1.
+func (s *System) KnowsCK(i model.AgentID, p Point, v model.Value) bool {
+	return s.Knows(i, p, func(q Point) bool { return s.CKTFaulty(q, v) })
+}

@@ -1,0 +1,295 @@
+// Package episteme is an epistemic model checker for the EBA contexts of
+// the paper. It builds interpreted systems by exhaustively enumerating
+// failure patterns and initial preferences, evaluates knowledge (K_i),
+// indexical common knowledge among the nonfaulty agents (C_N), and the
+// ⊡-reachability underlying Halpern–Moses–Waarts continual common
+// knowledge, and uses these to verify the paper's theorems on concrete
+// protocols:
+//
+//   - CheckImplements: Theorems 6.5, 6.6 and A.21 — a concrete protocol
+//     implements the knowledge-based program P0 (or P1) in its context.
+//   - CheckSafety: Proposition 6.4 — the safety condition of Def. 6.2.
+//   - CheckOptimalityFIP: Theorem 7.5 — the optimality characterization
+//     for full-information protocols.
+//   - Synthesize: the Section 8 "epistemic synthesis" direction — derive a
+//     concrete action protocol from a knowledge-based program by fixpoint
+//     construction and export it as a runnable ActionProtocol.
+//
+// Everything here is exhaustive and therefore exponential in n, t, and the
+// horizon; it is meant for small parameter values (n ≤ 4, t ≤ 2), which is
+// where the paper's knowledge-theoretic claims are machine-checkable.
+package episteme
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// runParallel executes every configuration on all CPUs, writing results
+// into the slot matching the configuration's index.
+func runParallel(cfgs []engine.Config, out []*engine.Result) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+		errs []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= len(cfgs) {
+					return
+				}
+				res, err := engine.Run(cfgs[k])
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				out[k] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// Context describes the interpreted system to build: an EBA context
+// (exchange, failure model) plus the action protocol generating the runs
+// and enumeration bounds.
+type Context struct {
+	// Exchange is the information-exchange protocol E.
+	Exchange model.Exchange
+	// T is the failure bound of the sending-omissions model SO(T).
+	T int
+	// Horizon is the number of rounds each run executes; the paper's
+	// protocols decide by round T+2, so T+2 is the natural choice.
+	Horizon int
+	// Options tunes pattern enumeration.
+	Options adversary.Options
+	// Crash restricts enumeration to the crash model instead of SO(T).
+	Crash bool
+}
+
+// Point is a point (run, time) of an interpreted system.
+type Point struct {
+	// Run indexes System.Runs.
+	Run int
+	// Time is the time component m.
+	Time int
+}
+
+// System is an interpreted system: every run of one action protocol under
+// every admissible failure pattern and initial assignment, with an index
+// from local states to the points carrying them.
+type System struct {
+	// N is the number of agents, T the failure bound, Horizon the number
+	// of rounds.
+	N, T, Horizon int
+	// Runs holds every enumerated run.
+	Runs []*engine.Result
+	// index[m*N+i][key] lists the runs whose agent i has local state key
+	// `key` at time m.
+	index []map[string][]int
+	// cnLayers caches the per-time condensations of the C_N
+	// accessibility graph. A System is not safe for concurrent use.
+	cnLayers map[int]*cnLayer
+}
+
+// BuildSystem enumerates every run of the action protocol in the context
+// and indexes the local states. Runs execute on all available CPUs; the
+// resulting order is deterministic (enumeration order).
+func BuildSystem(ctx Context, act model.ActionProtocol) (*System, error) {
+	if ctx.Exchange == nil || act == nil {
+		return nil, fmt.Errorf("episteme: Exchange and action protocol are required")
+	}
+	n := ctx.Exchange.N()
+	horizon := ctx.Horizon
+	if horizon <= 0 {
+		horizon = ctx.T + 2
+	}
+	sys := &System{N: n, T: ctx.T, Horizon: horizon}
+
+	// Enumerate the configurations first, then execute them in parallel
+	// into pre-assigned slots so the run order stays deterministic.
+	var cfgs []engine.Config
+	collect := func(pat *model.Pattern) bool {
+		p := pat.Clone()
+		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+			cfgs = append(cfgs, engine.Config{
+				Exchange: ctx.Exchange,
+				Action:   act,
+				Pattern:  p,
+				Inits:    append([]model.Value(nil), inits...),
+				Horizon:  horizon,
+			})
+			return true
+		})
+		return true
+	}
+	if ctx.Crash {
+		adversary.EnumerateCrash(n, ctx.T, horizon, collect)
+	} else {
+		adversary.EnumerateSO(n, ctx.T, horizon, ctx.Options, collect)
+	}
+
+	sys.Runs = make([]*engine.Result, len(cfgs))
+	if err := runParallel(cfgs, sys.Runs); err != nil {
+		return nil, err
+	}
+
+	sys.index = make([]map[string][]int, (horizon+1)*n)
+	for slot := range sys.index {
+		sys.index[slot] = make(map[string][]int)
+	}
+	for ri, res := range sys.Runs {
+		for m := 0; m <= horizon; m++ {
+			for i := 0; i < n; i++ {
+				key := res.States[m][i].Key()
+				slot := m*n + i
+				sys.index[slot][key] = append(sys.index[slot][key], ri)
+			}
+		}
+	}
+	return sys, nil
+}
+
+// Key returns agent i's local-state key at point p.
+func (s *System) Key(i model.AgentID, p Point) string {
+	return s.Runs[p.Run].States[p.Time][i].Key()
+}
+
+// State returns agent i's local state at point p.
+func (s *System) State(i model.AgentID, p Point) model.State {
+	return s.Runs[p.Run].States[p.Time][i]
+}
+
+// SameState returns the runs whose agent i has, at time m, the given local
+// state key: the ~_i equivalence class. The returned slice is shared; do
+// not mutate.
+func (s *System) SameState(i model.AgentID, m int, key string) []int {
+	return s.index[m*s.N+int(i)][key]
+}
+
+// Class returns the points agent i cannot distinguish from p.
+func (s *System) Class(i model.AgentID, p Point) []Point {
+	runs := s.SameState(i, p.Time, s.Key(i, p))
+	out := make([]Point, len(runs))
+	for k, r := range runs {
+		out[k] = Point{Run: r, Time: p.Time}
+	}
+	return out
+}
+
+// Knows evaluates K_i φ at p: φ holds at every point i cannot distinguish
+// from p.
+func (s *System) Knows(i model.AgentID, p Point, phi func(Point) bool) bool {
+	for _, r := range s.SameState(i, p.Time, s.Key(i, p)) {
+		if !phi(Point{Run: r, Time: p.Time}) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- point-level properties of runs -------------------------------------
+
+// Nonfaulty reports i ∈ N at p (a run-level property).
+func (s *System) Nonfaulty(i model.AgentID, p Point) bool {
+	return s.Runs[p.Run].Pattern.Nonfaulty(i)
+}
+
+// Exists reports ∃v at p: some agent started with initial preference v.
+func (s *System) Exists(v model.Value, p Point) bool {
+	for _, iv := range s.Runs[p.Run].Inits {
+		if iv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// DecidedVal returns decided_i at p: the value agent i has decided by time
+// p.Time, or None.
+func (s *System) DecidedVal(i model.AgentID, p Point) model.Value {
+	res := s.Runs[p.Run]
+	if r := res.Round(i); r > 0 && r <= p.Time {
+		return res.Decided(i)
+	}
+	return model.None
+}
+
+// JustDecided reports jdecided_i = v at p: agent i decided v exactly in
+// round p.Time.
+func (s *System) JustDecided(i model.AgentID, v model.Value, p Point) bool {
+	res := s.Runs[p.Run]
+	return res.Round(i) == p.Time && res.Decided(i) == v
+}
+
+// Deciding reports deciding_i = v at p: agent i is undecided at p and its
+// action in round p.Time+1 is decide(v). At the final time of a run it is
+// false (nothing is recorded beyond the horizon; the paper's protocols
+// have all decided by then).
+func (s *System) Deciding(i model.AgentID, v model.Value, p Point) bool {
+	res := s.Runs[p.Run]
+	return res.Round(i) == p.Time+1 && res.Decided(i) == v
+}
+
+// NoDecidedN reports no-decided_N(v) at p: no nonfaulty agent has decided
+// v by time p.Time.
+func (s *System) NoDecidedN(v model.Value, p Point) bool {
+	for i := 0; i < s.N; i++ {
+		id := model.AgentID(i)
+		if s.Nonfaulty(id, p) && s.DecidedVal(id, p) == v {
+			return false
+		}
+	}
+	return true
+}
+
+// FaultyAll reports whether every agent in mask (a bitmask over agents) is
+// faulty at p.
+func (s *System) FaultyAll(mask uint64, p Point) bool {
+	pat := s.Runs[p.Run].Pattern
+	for i := 0; i < s.N; i++ {
+		if mask&(1<<uint(i)) != 0 && pat.Nonfaulty(model.AgentID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Points calls fn for every point of the system with time ≤ maxTime
+// (maxTime < 0 means the full horizon).
+func (s *System) Points(maxTime int, fn func(Point)) {
+	if maxTime < 0 || maxTime > s.Horizon {
+		maxTime = s.Horizon
+	}
+	for r := range s.Runs {
+		for m := 0; m <= maxTime; m++ {
+			fn(Point{Run: r, Time: m})
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+// Config tunes the randomized experiments.
+type Config struct {
+	// Seed drives the random adversaries.
+	Seed int64
+	// Trials is the number of random runs per randomized experiment.
+	Trials int
+	// SkipSlow skips the exhaustive model-checking experiments (E6–E10,
+	// E14), which take tens of seconds.
+	SkipSlow bool
+}
+
+// DefaultConfig is used by cmd/ebabench when no flags are given.
+var DefaultConfig = Config{Seed: 20230510, Trials: 400}
+
+// Generators returns every experiment as a named generator, in order, so
+// that callers can time or select individual tables.
+func Generators(cfg Config) []func() *Table {
+	gens := []func() *Table{
+		E1MessageComplexity,
+		E2FailureFreeZero,
+		E3FailureFreeOnes,
+		E4Example71,
+		func() *Table { return E5TerminationBound(cfg.Seed, cfg.Trials) },
+	}
+	if !cfg.SkipSlow {
+		gens = append(gens,
+			E6ImplementsMin,
+			E7ImplementsBasic,
+			E8ImplementsFIP,
+			E9Optimality,
+			E10Safety,
+		)
+	}
+	gens = append(gens,
+		E11BasicVsMin,
+		func() *Table { return E12BasicVsFip(cfg.Seed, cfg.Trials) },
+		E13CrashVsOmission,
+	)
+	if !cfg.SkipSlow {
+		gens = append(gens, E14Synthesis)
+	}
+	gens = append(gens,
+		E15CommonKnowledgeAblation,
+		func() *Table { return E16DropProbabilitySweep(cfg.Seed, cfg.Trials/4+1) },
+	)
+	if !cfg.SkipSlow {
+		gens = append(gens, E17ExhaustiveSpec)
+	}
+	return gens
+}
+
+// All regenerates every experiment table in order.
+func All(cfg Config) []*Table {
+	gens := Generators(cfg)
+	tables := make([]*Table, len(gens))
+	for i, gen := range gens {
+		tables[i] = gen()
+	}
+	return tables
+}

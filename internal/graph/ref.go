@@ -1,0 +1,355 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/model"
+)
+
+// Ref evaluates the quantities of Section A.2.7 on a communication graph:
+// the inferred decision table d, the faulty-knowledge sets f and their
+// pooled form D, the known-value sets V, and the decision conditions
+// common_v, cond0, and cond1 of the polynomial-time protocol P_opt.
+//
+// The recursions of the paper are self-masking: every label they consult
+// sits on an edge into an ancestor of the point being analyzed, and the
+// owner's graph knows an in-edge label of a point (j,k) exactly when
+// (j,k) has flowed to the owner. Ref therefore works directly on the
+// owner's graph without materializing per-agent views.
+//
+// A Ref is valid for the single graph it was created for; create a new one
+// after the graph changes. It is not safe for concurrent use.
+type Ref struct {
+	t     int
+	g     *Graph
+	useCK bool
+
+	reachMemo map[point][][]bool
+	decMemo   map[point]decEntry
+	fMemo     map[point]agentSet
+}
+
+// point is an (agent, time) pair.
+type point struct {
+	a model.AgentID
+	k int
+}
+
+type decEntry struct {
+	action model.Action
+	known  bool
+}
+
+// agentSet is a bitmask over agents; NewRef rejects n > 64.
+type agentSet uint64
+
+func (s agentSet) has(a model.AgentID) bool { return s&(1<<uint(a)) != 0 }
+func (s agentSet) size() int                { return bits.OnesCount64(uint64(s)) }
+
+// NewRef returns an analyzer for graph g under failure bound t,
+// implementing the full P_opt program (P1's guards).
+func NewRef(t int, g *Graph) *Ref {
+	return newRef(t, g, true)
+}
+
+// NewRefNoCK returns an analyzer for the ablated protocol that drops the
+// common-knowledge guards: it implements the knowledge-based program P0
+// over full information. The result is a correct EBA protocol (P0 is
+// correct in every EBA context) but not an optimal one — it waits out
+// Example 7.1 instead of deciding in round 3. The ablation experiment E15
+// quantifies the difference.
+func NewRefNoCK(t int, g *Graph) *Ref {
+	return newRef(t, g, false)
+}
+
+func newRef(t int, g *Graph, useCK bool) *Ref {
+	if g.N() > 64 {
+		panic(fmt.Sprintf("graph: Ref supports at most 64 agents, got %d", g.N()))
+	}
+	if t < 0 || t >= g.N() {
+		panic(fmt.Sprintf("graph: Ref needs 0 <= t < n, got t=%d n=%d", t, g.N()))
+	}
+	return &Ref{
+		t:         t,
+		g:         g,
+		useCK:     useCK,
+		reachMemo: make(map[point][][]bool),
+		decMemo:   make(map[point]decEntry),
+		fMemo:     make(map[point]agentSet),
+	}
+}
+
+// reachTo memoizes g.ReachTo.
+func (r *Ref) reachTo(j model.AgentID, k int) [][]bool {
+	p := point{j, k}
+	if grid, ok := r.reachMemo[p]; ok {
+		return grid
+	}
+	grid := r.g.ReachTo(j, k)
+	r.reachMemo[p] = grid
+	return grid
+}
+
+// Known reports whether (j,k) has flowed to the graph's owner, i.e.
+// whether the owner can reconstruct agent j's view at time k.
+func (r *Ref) Known(j model.AgentID, k int) bool {
+	if k < 0 || k > r.g.M() {
+		return false
+	}
+	return r.reachTo(r.g.Owner(), r.g.M())[j][k]
+}
+
+// OwnerAction is the P_opt action of the graph's owner at the graph's
+// time: the top of the decision recursion.
+func (r *Ref) OwnerAction() model.Action {
+	a, known := r.Decision(r.g.Owner(), r.g.M())
+	if !known {
+		panic("graph: owner's own view unexpectedly unknown")
+	}
+	return a
+}
+
+// Decision is the paper's d(j, k, G): the action agent j takes at time k
+// (in round k+1) under P_opt, as inferable from the owner's graph. The
+// second result is false — the paper's "?" — when (j,k) has not flowed to
+// the owner; an already-decided agent yields (Noop, true), the paper's ⊥.
+func (r *Ref) Decision(j model.AgentID, k int) (model.Action, bool) {
+	if !r.Known(j, k) {
+		return model.Noop, false
+	}
+	p := point{j, k}
+	if e, ok := r.decMemo[p]; ok {
+		return e.action, e.known
+	}
+	// Break self-recursion (cond1 scans other points at time k, never
+	// (j,k) itself, but seed defensively).
+	r.decMemo[p] = decEntry{model.Noop, true}
+	action := r.program(j, k)
+	r.decMemo[p] = decEntry{action, true}
+	return action, true
+}
+
+// Decided returns the value agent j has decided at time k (decisions taken
+// in rounds <= k, i.e. actions at times < k), or None. It requires (j,k)
+// to be known to the owner.
+func (r *Ref) Decided(j model.AgentID, k int) model.Value {
+	for kp := 0; kp < k; kp++ {
+		if a, known := r.Decision(j, kp); known && a.IsDecide() {
+			return a.Decision()
+		}
+	}
+	return model.None
+}
+
+// program evaluates the body of P_opt for agent j at time k (Section
+// A.2.7). The caller guarantees (j,k) is known to the owner.
+func (r *Ref) program(j model.AgentID, k int) model.Action {
+	if r.Decided(j, k).IsSet() {
+		return model.Noop
+	}
+	if r.useCK {
+		if r.CommonV(model.Zero, j, k) {
+			return model.Decide0
+		}
+		if r.CommonV(model.One, j, k) {
+			return model.Decide1
+		}
+	}
+	switch {
+	case r.Cond0(j, k):
+		return model.Decide0
+	case r.Cond1(j, k):
+		return model.Decide1
+	default:
+		return model.Noop
+	}
+}
+
+// FaultyKnown is the paper's f(j, k, G): the set of agents that the owner
+// knows agent j knows to be faulty at time k. The recursion follows the
+// paper: agents that observably failed to deliver to j, plus everything
+// reported by agents j heard from, plus what j already knew.
+func (r *Ref) FaultyKnown(j model.AgentID, k int) []model.AgentID {
+	s := r.fset(j, k)
+	out := make([]model.AgentID, 0, s.size())
+	for a := 0; a < r.g.N(); a++ {
+		if s.has(model.AgentID(a)) {
+			out = append(out, model.AgentID(a))
+		}
+	}
+	return out
+}
+
+func (r *Ref) fset(j model.AgentID, k int) agentSet {
+	if k <= 0 {
+		return 0
+	}
+	p := point{j, k}
+	if s, ok := r.fMemo[p]; ok {
+		return s
+	}
+	s := r.fset(j, k-1)
+	for c := 0; c < r.g.N(); c++ {
+		switch r.g.Edge(k-1, model.AgentID(c), j) {
+		case NotSent:
+			s |= 1 << uint(c)
+		case Sent:
+			s |= r.fset(model.AgentID(c), k-1)
+		}
+	}
+	r.fMemo[p] = s
+	return s
+}
+
+// pooledFaulty is the paper's D(S, k, G) for S = complement of fOwn: the
+// union of the f-sets at time k of every agent outside fOwn.
+func (r *Ref) pooledFaulty(fOwn agentSet, k int) agentSet {
+	var d agentSet
+	for c := 0; c < r.g.N(); c++ {
+		if !fOwn.has(model.AgentID(c)) {
+			d |= r.fset(model.AgentID(c), k)
+		}
+	}
+	return d
+}
+
+// KnowsValue reports whether the owner knows that agent j knows some agent
+// held initial preference v at time k (the paper's v ∈ V(j, k, G)).
+func (r *Ref) KnowsValue(j model.AgentID, k int, v model.Value) bool {
+	reach := r.reachTo(j, k)
+	for a := 0; a < r.g.N(); a++ {
+		if reach[a][0] && r.g.Pref(model.AgentID(a)) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// CommonV is the paper's common_v test for agent j at time k: it holds iff
+// C_N(t-faulty ∧ no-decided_N(1−v) ∧ ∃v) holds at time k, evaluated from
+// j's view. Following Lemma A.20, C_N(t-faulty) holds iff j knows exactly
+// t faulty agents and the agents j still considers possibly nonfaulty had,
+// between them, already identified all t at time k−1.
+func (r *Ref) CommonV(v model.Value, j model.AgentID, k int) bool {
+	if k < 1 {
+		return false // common knowledge of faultiness needs at least one round
+	}
+	fOwn := r.fset(j, k)
+	if fOwn.size() != r.t {
+		return false
+	}
+	if r.pooledFaulty(fOwn, k-1).size() != r.t {
+		return false
+	}
+	// no-decided_N(1−v): no possibly-nonfaulty agent decided 1−v by time k.
+	// Every agent outside fOwn delivered to j in round k, so its actions at
+	// times < k are all inferable.
+	for c := 0; c < r.g.N(); c++ {
+		if fOwn.has(model.AgentID(c)) {
+			continue
+		}
+		for kp := 0; kp < k; kp++ {
+			if a, known := r.Decision(model.AgentID(c), kp); known && a.Decision() == v.Flip() {
+				return false
+			}
+		}
+	}
+	// ∃v must have been known to some agent outside the pooled faulty set
+	// at time k−1 (Proposition A.2(c)).
+	pooled := r.pooledFaulty(fOwn, k-1)
+	for c := 0; c < r.g.N(); c++ {
+		if pooled.has(model.AgentID(c)) {
+			continue
+		}
+		if r.KnowsValue(model.AgentID(c), k-1, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cond0 is the paper's cond0: agent j can decide 0 at time k because its
+// own initial preference is 0 (k = 0) or because it just received a
+// message from an agent that decided 0 in round k (j received a 0-chain).
+func (r *Ref) Cond0(j model.AgentID, k int) bool {
+	if k == 0 {
+		return r.g.Pref(j) == model.Zero
+	}
+	for c := 0; c < r.g.N(); c++ {
+		if r.g.Edge(k-1, model.AgentID(c), j) != Sent {
+			continue
+		}
+		if a, known := r.Decision(model.AgentID(c), k-1); known && a == model.Decide0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Cond1 is the paper's cond1: agent j knows at time k that no agent can be
+// deciding 0. Following Proposition A.7, j CANNOT rule out a hidden
+// 0-chain iff for every length m” in (len, k] there are at least
+// m”−len agents whose last contact with j predates m” and who were, as
+// far as j knows, still undecided at that last contact — enough silent
+// agents to extend the longest 0-chain j knows about to length m”.
+// Cond1 is the negation of that condition.
+func (r *Ref) Cond1(j model.AgentID, k int) bool {
+	if k == 0 {
+		return false
+	}
+	reach := r.reachTo(j, k)
+
+	// len: the time of the latest 0-decision j knows about (the length of
+	// the longest known 0-chain), or -1.
+	length := -1
+	for kp := k - 1; kp >= 0 && length < 0; kp-- {
+		for c := 0; c < r.g.N(); c++ {
+			if !reach[c][kp] {
+				continue
+			}
+			if a, known := r.Decision(model.AgentID(c), kp); known && a == model.Decide0 {
+				length = kp
+				break
+			}
+		}
+	}
+
+	// last[c]: the latest time kp with (c,kp) → (j,k), or -1; undec[c]:
+	// whether c was still undecided at its last contact.
+	last := make([]int, r.g.N())
+	undec := make([]bool, r.g.N())
+	for c := 0; c < r.g.N(); c++ {
+		last[c] = -1
+		for kp := k; kp >= 0; kp-- {
+			if reach[c][kp] {
+				last[c] = kp
+				break
+			}
+		}
+		undec[c] = true
+		for kp := 0; kp <= last[c]; kp++ {
+			if a, known := r.Decision(model.AgentID(c), kp); known && a.IsDecide() {
+				undec[c] = false
+				break
+			}
+		}
+	}
+
+	// hidden(m''): agents that could extend a hidden chain at time m''.
+	hidden := func(mpp int) int {
+		count := 0
+		for c := 0; c < r.g.N(); c++ {
+			if last[c] < mpp && undec[c] {
+				count++
+			}
+		}
+		return count
+	}
+	for mpp := length + 1; mpp <= k; mpp++ {
+		if hidden(mpp) < mpp-length {
+			return true
+		}
+	}
+	return false
+}

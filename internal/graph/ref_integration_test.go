@@ -1,0 +1,197 @@
+package graph_test
+
+// Integration tests driving the full-information exchange and P_opt
+// through the round engine, then validating the graph-based inference
+// machinery against what actually happened: every decision Ref infers
+// from any agent's graph must equal the action the engine recorded.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/adversary"
+	"repro/internal/engine"
+	"repro/internal/exchange"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func runFIP(t *testing.T, n, tf int, pat *model.Pattern, inits []model.Value) *engine.Result {
+	t.Helper()
+	res, err := engine.Run(engine.Config{
+		Exchange: exchange.NewFIP(n),
+		Action:   action.NewOpt(tf),
+		Pattern:  pat,
+		Inits:    inits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// checkInference asserts that, at every point of the run, every decision
+// any agent can infer from its graph matches the recorded action, and the
+// cached decided component matches the graph-derived one.
+func checkInference(t *testing.T, tf int, res *engine.Result) {
+	t.Helper()
+	for m := 0; m <= res.Horizon; m++ {
+		for i := 0; i < res.N; i++ {
+			st := res.States[m][i].(exchange.FIPState)
+			r := graph.NewRef(tf, st.Graph())
+			for k := 0; k < m; k++ {
+				for j := 0; j < res.N; j++ {
+					a, known := r.Decision(model.AgentID(j), k)
+					if !known {
+						continue
+					}
+					if got := res.Actions[k][j]; got != a {
+						t.Fatalf("time %d, agent %d infers action %v for (%d,%d); engine recorded %v",
+							m, i, a, j, k, got)
+					}
+				}
+			}
+			if got, want := r.Decided(model.AgentID(i), m), st.Decided(); got != want {
+				t.Fatalf("time %d agent %d: graph-derived decided %v, cached %v", m, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPoptFailureFreeAllOnes(t *testing.T) {
+	// Proposition 8.2(b): failure-free all-1 runs decide in round 2.
+	for _, n := range []int{3, 4, 6} {
+		tf := 1
+		res := runFIP(t, n, tf, adversary.FailureFree(n, tf+2), adversary.UniformInits(n, model.One))
+		for i := 0; i < n; i++ {
+			if res.Decided(model.AgentID(i)) != model.One {
+				t.Errorf("n=%d agent %d decided %v, want 1", n, i, res.Decided(model.AgentID(i)))
+			}
+			if res.Round(model.AgentID(i)) != 2 {
+				t.Errorf("n=%d agent %d decided in round %d, want 2", n, i, res.Round(model.AgentID(i)))
+			}
+		}
+		checkInference(t, tf, res)
+	}
+}
+
+func TestPoptFailureFreeWithZero(t *testing.T) {
+	// Proposition 8.2(a): with an initial 0 and no failures, everyone
+	// decides 0 by round 2.
+	n, tf := 4, 1
+	inits := []model.Value{model.One, model.Zero, model.One, model.One}
+	res := runFIP(t, n, tf, adversary.FailureFree(n, tf+2), inits)
+	for i := 0; i < n; i++ {
+		if res.Decided(model.AgentID(i)) != model.Zero {
+			t.Errorf("agent %d decided %v, want 0", i, res.Decided(model.AgentID(i)))
+		}
+		if res.Round(model.AgentID(i)) > 2 {
+			t.Errorf("agent %d decided in round %d, want ≤ 2", i, res.Round(model.AgentID(i)))
+		}
+	}
+	checkInference(t, tf, res)
+}
+
+func TestPoptExample71Small(t *testing.T) {
+	// Example 7.1 scaled down: n=6, t=3, agents 0-2 silent-faulty, all
+	// initial preferences 1. The nonfaulty agents get common knowledge of
+	// the faulty set after two rounds and decide 1 in round 3, instead of
+	// waiting until round t+2 = 5.
+	n, tf := 6, 3
+	res := runFIP(t, n, tf, adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
+	for i := tf; i < n; i++ {
+		if res.Decided(model.AgentID(i)) != model.One {
+			t.Errorf("agent %d decided %v, want 1", i, res.Decided(model.AgentID(i)))
+		}
+		if res.Round(model.AgentID(i)) != 3 {
+			t.Errorf("agent %d decided in round %d, want 3", i, res.Round(model.AgentID(i)))
+		}
+	}
+	checkInference(t, tf, res)
+}
+
+func TestPoptExample71Paper(t *testing.T) {
+	// The exact parameters of Example 7.1: n=20, t=10.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n, tf := 20, 10
+	res := runFIP(t, n, tf, adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
+	for i := tf; i < n; i++ {
+		if res.Round(model.AgentID(i)) != 3 || res.Decided(model.AgentID(i)) != model.One {
+			t.Errorf("agent %d: round %d value %v, want round 3 value 1",
+				i, res.Round(model.AgentID(i)), res.Decided(model.AgentID(i)))
+		}
+	}
+}
+
+func TestPoptAgreementValidityRandom(t *testing.T) {
+	// EBA safety under random omission adversaries, with the inference
+	// cross-check on every run.
+	rng := rand.New(rand.NewSource(42))
+	n, tf := 4, 2
+	for trial := 0; trial < 60; trial++ {
+		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.4)
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value(rng.Intn(2))
+		}
+		res := runFIP(t, n, tf, pat, inits)
+
+		var dec model.Value = model.None
+		for i := 0; i < n; i++ {
+			id := model.AgentID(i)
+			if !pat.Nonfaulty(id) {
+				continue
+			}
+			v := res.Decided(id)
+			if v == model.None {
+				t.Fatalf("trial %d: nonfaulty agent %d undecided after t+2 rounds\npattern: %v inits: %v",
+					trial, i, pat, inits)
+			}
+			if dec == model.None {
+				dec = v
+			} else if dec != v {
+				t.Fatalf("trial %d: agreement violated\npattern: %v inits: %v", trial, pat, inits)
+			}
+		}
+		// Validity (paper's strong form: even for faulty deciders).
+		for i := 0; i < n; i++ {
+			v := res.Decided(model.AgentID(i))
+			if v == model.None {
+				continue
+			}
+			found := false
+			for _, iv := range inits {
+				if iv == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: agent %d decided %v with inits %v", trial, i, v, inits)
+			}
+		}
+		checkInference(t, tf, res)
+	}
+}
+
+func TestPoptDecidesByTPlus2(t *testing.T) {
+	// Proposition 6.1's bound, for every agent including faulty ones.
+	rng := rand.New(rand.NewSource(7))
+	n, tf := 5, 2
+	for trial := 0; trial < 40; trial++ {
+		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.5)
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value(rng.Intn(2))
+		}
+		res := runFIP(t, n, tf, pat, inits)
+		for i := 0; i < n; i++ {
+			if r := res.Round(model.AgentID(i)); r == 0 || r > tf+2 {
+				t.Fatalf("trial %d: agent %d decision round %d (want 1..%d)\npattern: %v",
+					trial, i, r, tf+2, pat)
+			}
+		}
+	}
+}

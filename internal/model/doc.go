@@ -1,0 +1,21 @@
+// Package model defines the formal objects of Alpturer, Halpern, and
+// van der Meyden, "Optimal Eventual Byzantine Agreement Protocols with
+// Omission Failures" (PODC 2023): agents, preference values, decision
+// actions, the information-exchange / action-protocol split (Section 3),
+// failure patterns and failure models (sending omissions SO(t) and its
+// crash-failure special case), and the conventions every EBA context must
+// satisfy (Section 5).
+//
+// Everything else in the repository is built on these types: the round
+// engine (internal/engine) executes an Exchange together with an
+// ActionProtocol under a Pattern; the epistemic model checker
+// (internal/episteme) enumerates Patterns to build interpreted systems.
+//
+// # Timing conventions
+//
+// Time m = 0, 1, 2, ... indexes global states; round m+1 is the step taken
+// between time m and time m+1. A message "sent at time m" is sent in round
+// m+1, and Pattern.Delivered(m, i, j) reports whether the adversary lets it
+// through. An agent whose action protocol returns a decide action at time m
+// "decides in round m+1".
+package model

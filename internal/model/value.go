@@ -1,0 +1,111 @@
+package model
+
+import "strconv"
+
+// AgentID identifies an agent. Agents are numbered 0..n-1. (The paper
+// numbers agents 1..n; we follow Go slice indexing and translate only when
+// rendering output.)
+type AgentID int
+
+// Value is a binary consensus value, or None for the paper's ⊥ ("no value
+// yet"). The numeric values of Zero and One are meaningful: they are the
+// protocol values 0 and 1.
+type Value int8
+
+// Consensus values.
+const (
+	// None is the paper's ⊥: undecided / no observation.
+	None Value = -1
+	// Zero is the consensus value 0.
+	Zero Value = 0
+	// One is the consensus value 1.
+	One Value = 1
+)
+
+// IsSet reports whether v is a concrete consensus value (0 or 1) rather
+// than None.
+func (v Value) IsSet() bool { return v == Zero || v == One }
+
+// Flip returns the opposite consensus value. It panics if v is None, since
+// ⊥ has no opposite; callers must guard with IsSet.
+func (v Value) Flip() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		panic("model: Flip of None")
+	}
+}
+
+// String renders the value as "0", "1", or "⊥".
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "⊥"
+	}
+}
+
+// Action is an action-protocol output: decide 0, decide 1, or do nothing.
+type Action int8
+
+// Actions available to every agent (the paper's A_i).
+const (
+	// Noop is the paper's noop action.
+	Noop Action = iota
+	// Decide0 is decide_i(0).
+	Decide0
+	// Decide1 is decide_i(1).
+	Decide1
+)
+
+// Decide returns the decide action for consensus value v.
+// It panics if v is None.
+func Decide(v Value) Action {
+	switch v {
+	case Zero:
+		return Decide0
+	case One:
+		return Decide1
+	default:
+		panic("model: Decide(None)")
+	}
+}
+
+// Decision returns the value the action decides, or None for Noop.
+func (a Action) Decision() Value {
+	switch a {
+	case Decide0:
+		return Zero
+	case Decide1:
+		return One
+	default:
+		return None
+	}
+}
+
+// IsDecide reports whether the action is a decision.
+func (a Action) IsDecide() bool { return a == Decide0 || a == Decide1 }
+
+// String renders the action in the paper's notation.
+func (a Action) String() string {
+	switch a {
+	case Decide0:
+		return "decide(0)"
+	case Decide1:
+		return "decide(1)"
+	default:
+		return "noop"
+	}
+}
+
+// appendInt appends the decimal form of x to dst. It is a tiny shared
+// helper for building canonical state keys without fmt overhead.
+func appendInt(dst []byte, x int) []byte {
+	return strconv.AppendInt(dst, int64(x), 10)
+}

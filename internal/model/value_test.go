@@ -1,0 +1,99 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueIsSet(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Zero, true},
+		{One, true},
+		{None, false},
+	}
+	for _, c := range cases {
+		if got := c.v.IsSet(); got != c.want {
+			t.Errorf("IsSet(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueFlip(t *testing.T) {
+	if Zero.Flip() != One {
+		t.Errorf("Flip(0) = %v, want 1", Zero.Flip())
+	}
+	if One.Flip() != Zero {
+		t.Errorf("Flip(1) = %v, want 0", One.Flip())
+	}
+}
+
+func TestValueFlipNonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Flip(None) did not panic")
+		}
+	}()
+	_ = None.Flip()
+}
+
+func TestValueString(t *testing.T) {
+	if Zero.String() != "0" || One.String() != "1" || None.String() != "⊥" {
+		t.Errorf("unexpected renderings: %q %q %q", Zero, One, None)
+	}
+}
+
+func TestDecideRoundTrip(t *testing.T) {
+	for _, v := range []Value{Zero, One} {
+		a := Decide(v)
+		if !a.IsDecide() {
+			t.Errorf("Decide(%v).IsDecide() = false", v)
+		}
+		if a.Decision() != v {
+			t.Errorf("Decide(%v).Decision() = %v", v, a.Decision())
+		}
+	}
+}
+
+func TestDecideNonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decide(None) did not panic")
+		}
+	}()
+	_ = Decide(None)
+}
+
+func TestNoopProperties(t *testing.T) {
+	if Noop.IsDecide() {
+		t.Error("Noop.IsDecide() = true")
+	}
+	if Noop.Decision() != None {
+		t.Errorf("Noop.Decision() = %v, want None", Noop.Decision())
+	}
+	if Noop.String() != "noop" {
+		t.Errorf("Noop.String() = %q", Noop)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Decide0.String() != "decide(0)" || Decide1.String() != "decide(1)" {
+		t.Errorf("unexpected action strings: %q %q", Decide0, Decide1)
+	}
+}
+
+func TestDecisionFlipConsistency(t *testing.T) {
+	// Property: for set values, Decide(v).Decision().Flip() == v.Flip().
+	f := func(b bool) bool {
+		v := Zero
+		if b {
+			v = One
+		}
+		return Decide(v).Decision().Flip() == v.Flip()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/adversary"
+	"repro/internal/engine"
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// assertSameResult compares the concurrent result against the sequential
+// engine's, field by field.
+func assertSameResult(t *testing.T, seq, conc *engine.Result) {
+	t.Helper()
+	if seq.Stats != conc.Stats {
+		t.Errorf("stats differ: sequential %+v, concurrent %+v", seq.Stats, conc.Stats)
+	}
+	for m := range seq.States {
+		for i := range seq.States[m] {
+			if seq.States[m][i].Key() != conc.States[m][i].Key() {
+				t.Fatalf("state differs at time %d agent %d", m, i)
+			}
+		}
+	}
+	for m := range seq.Actions {
+		for i := range seq.Actions[m] {
+			if seq.Actions[m][i] != conc.Actions[m][i] {
+				t.Fatalf("action differs at time %d agent %d: %v vs %v",
+					m, i, seq.Actions[m][i], conc.Actions[m][i])
+			}
+		}
+	}
+	for i := range seq.Decision {
+		if seq.Decision[i] != conc.Decision[i] || seq.DecisionRound[i] != conc.DecisionRound[i] {
+			t.Fatalf("decision ledger differs for agent %d", i)
+		}
+	}
+}
+
+func TestConcurrentMatchesSequentialAllStacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n, tf := 5, 2
+	type stack struct {
+		name string
+		ex   model.Exchange
+		act  model.ActionProtocol
+	}
+	stacks := []stack{
+		{"min", exchange.NewMin(n), action.NewMin(tf)},
+		{"basic", exchange.NewBasic(n), action.NewBasic(n)},
+		{"fip", exchange.NewFIP(n), action.NewOpt(tf)},
+		{"report", exchange.NewReport(n), action.NewNaive(tf)},
+	}
+	for _, st := range stacks {
+		for trial := 0; trial < 25; trial++ {
+			pat := adversary.RandomSO(rng, n, tf, tf+2, 0.4)
+			inits := make([]model.Value, n)
+			for i := range inits {
+				inits[i] = model.Value(rng.Intn(2))
+			}
+			cfg := engine.Config{Exchange: st.ex, Action: st.act, Pattern: pat, Inits: inits}
+			seq, err := engine.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conc, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, seq, conc)
+		}
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	if _, err := Run(engine.Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	n := 3
+	cfg := engine.Config{
+		Exchange: exchange.NewMin(n),
+		Action:   action.NewMin(1),
+		Pattern:  adversary.FailureFree(n, 3),
+		Inits:    adversary.UniformInits(2, model.One), // wrong length
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("short init vector accepted")
+	}
+	cfg.Inits = []model.Value{model.One, model.None, model.One}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unset init accepted")
+	}
+	cfg.Inits = adversary.UniformInits(n, model.One)
+	cfg.Pattern = adversary.FailureFree(4, 3)
+	if _, err := Run(cfg); err == nil {
+		t.Error("pattern size mismatch accepted")
+	}
+}
+
+// panicAction panics at time 1 to exercise error propagation.
+type panicAction struct{}
+
+func (panicAction) Name() string { return "Ppanic" }
+func (panicAction) Act(_ model.AgentID, s model.State) model.Action {
+	if s.Time() == 1 {
+		panic("deliberate test panic")
+	}
+	return model.Noop
+}
+
+func TestConcurrentAgentPanicBecomesError(t *testing.T) {
+	n := 3
+	cfg := engine.Config{
+		Exchange: exchange.NewMin(n),
+		Action:   panicAction{},
+		Pattern:  adversary.FailureFree(n, 3),
+		Inits:    adversary.UniformInits(n, model.One),
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("agent panic was not reported")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestConcurrentManyAgents(t *testing.T) {
+	// A larger configuration to shake out races (run with -race).
+	n, tf := 12, 4
+	pat := adversary.Example71(n, tf, tf+2)
+	cfg := engine.Config{
+		Exchange: exchange.NewBasic(n),
+		Action:   action.NewBasic(n),
+		Pattern:  pat,
+		Inits:    adversary.UniformInits(n, model.One),
+	}
+	seq, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, seq, conc)
+	for i := tf; i < n; i++ {
+		if conc.Round(model.AgentID(i)) != tf+2 {
+			t.Errorf("agent %d decided in round %d, want %d", i, conc.Round(model.AgentID(i)), tf+2)
+		}
+	}
+}

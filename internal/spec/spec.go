@@ -1,0 +1,239 @@
+// Package spec checks completed runs against the EBA specification of
+// Section 5 — Unique Decision, Agreement, Validity, Termination — and
+// implements the dominance order on action protocols from which the
+// paper's optimality notion is built.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Violation describes one specification breach in one run.
+type Violation struct {
+	// Property is the violated clause: "UniqueDecision", "Agreement",
+	// "Validity", "Termination", or "RoundBound".
+	Property string
+	// Agent is the offending agent (the first of the pair, for Agreement).
+	Agent model.AgentID
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s(agent %d): %s", v.Property, v.Agent, v.Detail)
+}
+
+// Options tunes the checks.
+type Options struct {
+	// RoundBound, if positive, additionally requires every nonfaulty agent
+	// to decide in a round ≤ RoundBound (the paper proves t+2 for all its
+	// protocols).
+	RoundBound int
+	// ValidityAllAgents checks Validity for faulty deciders too
+	// (Proposition 6.1 shows the paper's protocols satisfy this stronger
+	// form).
+	ValidityAllAgents bool
+}
+
+// CheckRun returns every violation of the EBA specification in the run.
+// A nil result means the run satisfies the specification.
+func CheckRun(res *engine.Result, opts Options) []Violation {
+	var out []Violation
+	out = append(out, checkUniqueDecision(res)...)
+	out = append(out, checkAgreement(res)...)
+	out = append(out, checkValidity(res, opts)...)
+	out = append(out, checkTermination(res, opts)...)
+	return out
+}
+
+// checkUniqueDecision scans the action trace: an agent that performs
+// decide(v) must never later perform decide(1−v).
+func checkUniqueDecision(res *engine.Result) []Violation {
+	var out []Violation
+	for i := 0; i < res.N; i++ {
+		first := model.None
+		for m := range res.Actions {
+			d := res.Actions[m][i].Decision()
+			if !d.IsSet() {
+				continue
+			}
+			if first == model.None {
+				first = d
+				continue
+			}
+			if d != first {
+				out = append(out, Violation{
+					Property: "UniqueDecision",
+					Agent:    model.AgentID(i),
+					Detail:   fmt.Sprintf("decided %v and later %v (round %d)", first, d, m+1),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkAgreement requires all nonfaulty decided values to coincide.
+func checkAgreement(res *engine.Result) []Violation {
+	var out []Violation
+	firstAgent := model.AgentID(-1)
+	firstVal := model.None
+	for i := 0; i < res.N; i++ {
+		id := model.AgentID(i)
+		if !res.Pattern.Nonfaulty(id) {
+			continue
+		}
+		v := res.Decided(id)
+		if v == model.None {
+			continue
+		}
+		if firstVal == model.None {
+			firstAgent, firstVal = id, v
+			continue
+		}
+		if v != firstVal {
+			out = append(out, Violation{
+				Property: "Agreement",
+				Agent:    firstAgent,
+				Detail: fmt.Sprintf("nonfaulty agents %d and %d decided %v and %v",
+					firstAgent, id, firstVal, v),
+			})
+		}
+	}
+	return out
+}
+
+// checkValidity requires every decided value to be some agent's initial
+// preference.
+func checkValidity(res *engine.Result, opts Options) []Violation {
+	present := map[model.Value]bool{}
+	for _, v := range res.Inits {
+		present[v] = true
+	}
+	var out []Violation
+	for i := 0; i < res.N; i++ {
+		id := model.AgentID(i)
+		if !opts.ValidityAllAgents && !res.Pattern.Nonfaulty(id) {
+			continue
+		}
+		v := res.Decided(id)
+		if v == model.None || present[v] {
+			continue
+		}
+		out = append(out, Violation{
+			Property: "Validity",
+			Agent:    id,
+			Detail:   fmt.Sprintf("decided %v but no agent held it initially", v),
+		})
+	}
+	return out
+}
+
+// checkTermination requires every nonfaulty agent to have decided within
+// the run's horizon, and within Options.RoundBound if set.
+func checkTermination(res *engine.Result, opts Options) []Violation {
+	var out []Violation
+	for i := 0; i < res.N; i++ {
+		id := model.AgentID(i)
+		if !res.Pattern.Nonfaulty(id) {
+			continue
+		}
+		r := res.Round(id)
+		if r == 0 {
+			out = append(out, Violation{
+				Property: "Termination",
+				Agent:    id,
+				Detail:   fmt.Sprintf("undecided after %d rounds", res.Horizon),
+			})
+			continue
+		}
+		if opts.RoundBound > 0 && r > opts.RoundBound {
+			out = append(out, Violation{
+				Property: "RoundBound",
+				Agent:    id,
+				Detail:   fmt.Sprintf("decided in round %d, bound %d", r, opts.RoundBound),
+			})
+		}
+	}
+	return out
+}
+
+// CheckAll runs CheckRun over a batch and aggregates violations, prefixing
+// each with its run index.
+func CheckAll(results []*engine.Result, opts Options) []string {
+	var out []string
+	for idx, res := range results {
+		for _, v := range CheckRun(res, opts) {
+			out = append(out, fmt.Sprintf("run %d: %s", idx, v))
+		}
+	}
+	return out
+}
+
+// Dominance summarizes the comparison of two action protocols over a set
+// of corresponding runs (same initial states, same failure patterns).
+type Dominance struct {
+	// Dominates reports whether P decides no later than Q for every
+	// nonfaulty agent in every corresponding run (the paper's Q ≤ P).
+	Dominates bool
+	// StrictCount counts (run, agent) pairs where P decided strictly
+	// earlier than Q.
+	StrictCount int
+	// FirstCounterexample describes the first (run, agent) where P decided
+	// later than Q, if any.
+	FirstCounterexample string
+}
+
+// Strictly reports whether P strictly dominates Q on the compared runs:
+// never later, at least once strictly earlier.
+func (d Dominance) Strictly() bool { return d.Dominates && d.StrictCount > 0 }
+
+// CompareRuns computes the dominance relation between protocol P (runsP)
+// and protocol Q (runsQ) over corresponding runs. The two slices must have
+// equal length and matching (pattern, inits) pairs, in the same order.
+func CompareRuns(runsP, runsQ []*engine.Result) (Dominance, error) {
+	if len(runsP) != len(runsQ) {
+		return Dominance{}, fmt.Errorf("spec: %d vs %d runs", len(runsP), len(runsQ))
+	}
+	dom := Dominance{Dominates: true}
+	for idx := range runsP {
+		rp, rq := runsP[idx], runsQ[idx]
+		if rp.Pattern.Key() != rq.Pattern.Key() {
+			return Dominance{}, fmt.Errorf("spec: run %d patterns do not correspond", idx)
+		}
+		if len(rp.Inits) != len(rq.Inits) {
+			return Dominance{}, fmt.Errorf("spec: run %d init lengths differ", idx)
+		}
+		for i := range rp.Inits {
+			if rp.Inits[i] != rq.Inits[i] {
+				return Dominance{}, fmt.Errorf("spec: run %d inits do not correspond", idx)
+			}
+		}
+		for i := 0; i < rp.N; i++ {
+			id := model.AgentID(i)
+			if !rp.Pattern.Nonfaulty(id) {
+				continue
+			}
+			p, q := rp.Round(id), rq.Round(id)
+			switch {
+			case p == 0:
+				// P never decides: the dominance condition is vacuous for
+				// this agent (and P is then not an EBA protocol anyway).
+			case q == 0 || p < q:
+				dom.StrictCount++
+			case p > q:
+				dom.Dominates = false
+				if dom.FirstCounterexample == "" {
+					dom.FirstCounterexample = fmt.Sprintf(
+						"run %d agent %d: P decided in round %d, Q in round %d", idx, i, p, q)
+				}
+			}
+		}
+	}
+	return dom, nil
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func sampleRun(t *testing.T) (*Record, core.Stack) {
+	t.Helper()
+	st := core.Min(3, 1)
+	pat := adversary.Silent(3, st.Horizon(), 0)
+	inits := []model.Value{model.Zero, model.One, model.One}
+	res, err := st.Run(pat, inits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(res, st.Exchange, st.Action.Name()), st
+}
+
+func TestRecordShape(t *testing.T) {
+	rec, _ := sampleRun(t)
+	if rec.N != 3 || rec.Horizon != 3 || rec.Exchange != "Emin" {
+		t.Fatalf("unexpected record header: %+v", rec)
+	}
+	if len(rec.Faulty) != 1 || rec.Faulty[0] != 0 {
+		t.Errorf("faulty = %v, want [0]", rec.Faulty)
+	}
+	if len(rec.Rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(rec.Rounds))
+	}
+	// Agent 0 decides 0 in round 1 and broadcasts; those messages are
+	// dropped by the adversary.
+	var foundDropped bool
+	for _, m := range rec.Rounds[0].Messages {
+		if m.From == 0 && m.Dropped {
+			foundDropped = true
+		}
+		if m.From == m.To {
+			t.Error("self-message in trace")
+		}
+	}
+	if !foundDropped {
+		t.Error("dropped broadcast not recorded")
+	}
+}
+
+func TestRecordDecisions(t *testing.T) {
+	rec, _ := sampleRun(t)
+	if rec.Decisions[0] != 0 || rec.DecisionRounds[0] != 1 {
+		t.Errorf("agent 0: decided %d round %d, want 0 round 1", rec.Decisions[0], rec.DecisionRounds[0])
+	}
+	// Agents 1,2 never hear the 0 (agent 0 silent): they decide 1 at t+2.
+	for i := 1; i < 3; i++ {
+		if rec.Decisions[i] != 1 || rec.DecisionRounds[i] != 3 {
+			t.Errorf("agent %d: decided %d round %d, want 1 round 3",
+				i, rec.Decisions[i], rec.DecisionRounds[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rec, _ := sampleRun(t)
+	data, err := rec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := Diff(rec, back); len(diff) != 0 {
+		t.Errorf("round trip changed the record: %v", diff)
+	}
+	if back.Exchange != rec.Exchange || back.BitsSent != rec.BitsSent {
+		t.Error("header fields lost in round trip")
+	}
+}
+
+func TestFromJSONError(t *testing.T) {
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestRenderContainsKeyFacts(t *testing.T) {
+	rec, _ := sampleRun(t)
+	s := rec.Render()
+	for _, want := range []string{"Emin", "round 1", "decide(0)", "agent 0: 0 in round 1", "traffic"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	// Dropped messages are marked.
+	if !strings.Contains(s, "✗") {
+		t.Error("render does not mark dropped messages")
+	}
+}
+
+func TestRenderSummarizesLargePayloads(t *testing.T) {
+	st := core.FIP(4, 1)
+	res, err := st.Run(adversary.FailureFree(4, st.Horizon()), adversary.UniformInits(4, model.One))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(res, st.Exchange, st.Action.Name()).Render()
+	if !strings.Contains(s, "-bit payload>") {
+		t.Errorf("large FIP payloads should be summarized:\n%s", s)
+	}
+}
+
+func TestDiffFindsDivergence(t *testing.T) {
+	// Corresponding runs of Pbasic and Pmin on the all-1 failure-free run
+	// differ in decision rounds.
+	n, tf := 3, 1
+	pat := adversary.FailureFree(n, tf+2)
+	inits := adversary.UniformInits(n, model.One)
+	b := core.Basic(n, tf)
+	m := core.Min(n, tf)
+	rb, err := b.Run(pat, inits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := m.Run(pat, inits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := Diff(New(rb, b.Exchange, b.Action.Name()), New(rm, m.Exchange, m.Action.Name()))
+	if len(diff) == 0 {
+		t.Fatal("expected divergence between Pbasic and Pmin on all-1 run")
+	}
+	found := false
+	for _, d := range diff {
+		if strings.Contains(d, "decision round") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diff does not mention decision rounds: %v", diff)
+	}
+}
+
+func TestDiffAgentCountMismatch(t *testing.T) {
+	a := &Record{N: 2}
+	b := &Record{N: 3}
+	if d := Diff(a, b); len(d) != 1 || !strings.Contains(d[0], "agent counts") {
+		t.Errorf("unexpected diff %v", d)
+	}
+}

@@ -6,16 +6,17 @@ package eba_test
 //	go test -bench=. -benchmem
 //
 // The experiment benches measure the cost of regenerating each table; the
-// micro benches measure the engine, the concurrent runtime, and the
+// micro benches measure the engine, the concurrent runtime, the batch
+// Runner (sequential vs parallel, with and without buffer reuse), and the
 // communication-graph machinery behind the polynomial-time P_opt.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	eba "repro"
 	"repro/internal/adversary"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/episteme"
 	"repro/internal/exchange"
@@ -23,6 +24,16 @@ import (
 	"repro/internal/graph"
 	"repro/internal/model"
 )
+
+// stack builds a registered stack, failing the benchmark on a bad name.
+func stack(b *testing.B, name string, n, t int) eba.Stack {
+	b.Helper()
+	st, err := eba.NewStack(name, eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
 
 // --- experiment benches (one per table/figure) ---------------------------
 
@@ -32,7 +43,8 @@ func BenchmarkE1MessageComplexity(b *testing.B) {
 	n, tf := 16, 4
 	pat := adversary.Example71(n, tf, tf+2)
 	inits := adversary.UniformInits(n, model.One)
-	for _, st := range []core.Stack{core.Min(n, tf), core.Basic(n, tf), core.FIP(n, tf)} {
+	for _, name := range []string{"min", "basic", "fip"} {
+		st := stack(b, name, n, tf)
 		b.Run(st.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := st.Run(pat, inits); err != nil {
@@ -48,7 +60,7 @@ func BenchmarkE2FailureFreeZero(b *testing.B) {
 	inits := adversary.UniformInits(n, eba.One)
 	inits[2] = eba.Zero
 	pat := adversary.FailureFree(n, tf+2)
-	st := core.FIP(n, tf)
+	st := stack(b, "fip", n, tf)
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Run(pat, inits); err != nil {
 			b.Fatal(err)
@@ -69,7 +81,7 @@ func BenchmarkE4Example71(b *testing.B) {
 	n, tf := 20, 10
 	pat := adversary.Example71(n, tf, tf+2)
 	inits := adversary.UniformInits(n, model.One)
-	st := core.FIP(n, tf)
+	st := stack(b, "fip", n, tf)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := st.Run(pat, inits)
@@ -85,7 +97,7 @@ func BenchmarkE4Example71(b *testing.B) {
 func BenchmarkE5TerminationBound(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	n, tf := 6, 2
-	st := core.Basic(n, tf)
+	st := stack(b, "basic", n, tf)
 	for i := 0; i < b.N; i++ {
 		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.45)
 		inits := make([]model.Value, n)
@@ -100,7 +112,7 @@ func BenchmarkE5TerminationBound(b *testing.B) {
 
 func BenchmarkE6ImplementsMin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := core.Min(3, 1).BuildSystem()
+		sys, err := stack(b, "min", 3, 1).BuildSystem()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +124,7 @@ func BenchmarkE6ImplementsMin(b *testing.B) {
 
 func BenchmarkE7ImplementsBasic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := core.Basic(3, 1).BuildSystem()
+		sys, err := stack(b, "basic", 3, 1).BuildSystem()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +136,7 @@ func BenchmarkE7ImplementsBasic(b *testing.B) {
 
 func BenchmarkE8ImplementsFIP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := core.FIP(3, 1).BuildSystem()
+		sys, err := stack(b, "fip", 3, 1).BuildSystem()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +147,7 @@ func BenchmarkE8ImplementsFIP(b *testing.B) {
 }
 
 func BenchmarkE9OptimalityCharacterization(b *testing.B) {
-	sys, err := core.FIP(3, 1).BuildSystem()
+	sys, err := stack(b, "fip", 3, 1).BuildSystem()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -148,7 +160,7 @@ func BenchmarkE9OptimalityCharacterization(b *testing.B) {
 }
 
 func BenchmarkE10Safety(b *testing.B) {
-	sys, err := core.Min(3, 1).BuildSystem()
+	sys, err := stack(b, "min", 3, 1).BuildSystem()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -171,7 +183,7 @@ func BenchmarkE11BasicVsMin(b *testing.B) {
 func BenchmarkE12BasicVsFipFaulty(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	n, tf := 5, 2
-	basic, fip := core.Basic(n, tf), core.FIP(n, tf)
+	basic, fip := stack(b, "basic", n, tf), stack(b, "fip", n, tf)
 	for i := 0; i < b.N; i++ {
 		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.5)
 		inits := make([]model.Value, n)
@@ -194,7 +206,7 @@ func BenchmarkE12BasicVsFipFaulty(b *testing.B) {
 
 func BenchmarkE13CrashVsOmission(b *testing.B) {
 	// One exhaustive naive-protocol sweep over SO(1), n=3.
-	st := core.Naive(3, 1)
+	st := stack(b, "naive", 3, 1)
 	for i := 0; i < b.N; i++ {
 		adversary.EnumerateSO(3, 1, 3, adversary.Options{}, func(pat *model.Pattern) bool {
 			p := pat.Clone()
@@ -222,7 +234,7 @@ func BenchmarkE14Synthesize(b *testing.B) {
 
 func BenchmarkEngineRoundMin(b *testing.B) {
 	n, tf := 16, 4
-	st := core.Min(n, tf)
+	st := stack(b, "min", n, tf)
 	pat := adversary.FailureFree(n, tf+2)
 	inits := adversary.UniformInits(n, model.One)
 	b.ResetTimer()
@@ -235,7 +247,7 @@ func BenchmarkEngineRoundMin(b *testing.B) {
 
 func BenchmarkRuntimeConcurrent(b *testing.B) {
 	n, tf := 8, 2
-	st := core.Basic(n, tf)
+	st := stack(b, "basic", n, tf)
 	pat := adversary.Silent(n, tf+2, 0)
 	inits := adversary.UniformInits(n, model.One)
 	b.ResetTimer()
@@ -246,11 +258,83 @@ func BenchmarkRuntimeConcurrent(b *testing.B) {
 	}
 }
 
+// batchScenarios builds a deterministic scenario list for the Runner
+// benches.
+func batchScenarios(n, tf, count int) []eba.Scenario {
+	rng := rand.New(rand.NewSource(7))
+	scenarios := make([]eba.Scenario, count)
+	for k := range scenarios {
+		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.4)
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value(rng.Intn(2))
+		}
+		scenarios[k] = eba.Scenario{Pattern: pat, Inits: inits}
+	}
+	return scenarios
+}
+
+// BenchmarkRunnerBatch measures the batch hot path across executor,
+// parallelism, and buffer-reuse configurations on the same 64-scenario
+// workload.
+func BenchmarkRunnerBatch(b *testing.B) {
+	n, tf := 8, 2
+	st := stack(b, "basic", n, tf)
+	scenarios := batchScenarios(n, tf, 64)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts []eba.RunnerOption
+	}{
+		{"sequential", nil},
+		{"sequential-reuse", []eba.RunnerOption{eba.WithBufferReuse()}},
+		{"parallel4-reuse", []eba.RunnerOption{eba.WithParallelism(4), eba.WithBufferReuse()}},
+		{"concurrent-parallel4", []eba.RunnerOption{eba.WithExecutor(eba.Concurrent), eba.WithParallelism(4)}},
+	}
+	for _, c := range cases {
+		runner := eba.NewRunner(st, c.opts...)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.RunBatch(ctx, scenarios); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBufferReuse isolates the allocation savings of the
+// reusable scratch buffers on single runs.
+func BenchmarkEngineBufferReuse(b *testing.B) {
+	n, tf := 16, 4
+	st := stack(b, "min", n, tf)
+	pat := adversary.FailureFree(n, tf+2)
+	inits := adversary.UniformInits(n, model.One)
+	cfg := st.Config(pat, inits)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := engine.NewBuffers()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunBuffered(cfg, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkGraphMergeAndKey(b *testing.B) {
 	// Build a realistic mid-run graph and measure clone+merge+key, the
 	// inner loop of the full-information exchange.
 	n, tf := 12, 3
-	res, err := core.FIP(n, tf).Run(adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
+	res, err := stack(b, "fip", n, tf).Run(adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -268,7 +352,7 @@ func BenchmarkRefOwnerAction(b *testing.B) {
 	// P_opt's per-round decision cost on a mid-run view at Example 7.1
 	// scale.
 	n, tf := 20, 10
-	res, err := core.FIP(n, tf).Run(adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
+	res, err := stack(b, "fip", n, tf).Run(adversary.Example71(n, tf, tf+2), adversary.UniformInits(n, model.One))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -282,7 +366,7 @@ func BenchmarkRefOwnerAction(b *testing.B) {
 
 func BenchmarkBuildSystemMin31(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Min(3, 1).BuildSystem(); err != nil {
+		if _, err := stack(b, "min", 3, 1).BuildSystem(); err != nil {
 			b.Fatal(err)
 		}
 	}

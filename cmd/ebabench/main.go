@@ -2,13 +2,17 @@
 // reproduction (DESIGN.md lists the index; EXPERIMENTS.md records the
 // outputs): the message-complexity and decision-time claims of Section 8,
 // Example 7.1, the termination bound, the machine-checked theorems, and
-// the crash-vs-omission ablation.
+// the crash-vs-omission ablation. Randomized scenario sweeps fan out over
+// the library's batch Runner; -parallel controls the worker count and
+// never changes the numbers (batches are deterministic and
+// order-preserving).
 //
 // Usage:
 //
 //	ebabench                  # everything (model checking takes ~1 min)
 //	ebabench -skip-slow       # simulation experiments only
 //	ebabench -trials 2000     # more random trials
+//	ebabench -parallel 4      # 4 batch workers for the scenario sweeps
 package main
 
 import (
@@ -32,15 +36,16 @@ func run(args []string) error {
 	var (
 		seed     = fs.Int64("seed", experiments.DefaultConfig.Seed, "random seed")
 		trials   = fs.Int("trials", experiments.DefaultConfig.Trials, "random trials per experiment")
+		parallel = fs.Int("parallel", 0, "batch workers for the scenario sweeps (0 = one per CPU)")
 		skipSlow = fs.Bool("skip-slow", false, "skip the exhaustive model-checking experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, SkipSlow: *skipSlow}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallelism: *parallel, SkipSlow: *skipSlow}
 	fmt.Printf("Reproduction harness — Alpturer, Halpern, van der Meyden (PODC 2023)\n")
-	fmt.Printf("seed=%d trials=%d skip-slow=%v\n\n", cfg.Seed, cfg.Trials, cfg.SkipSlow)
+	fmt.Printf("seed=%d trials=%d parallel=%d skip-slow=%v\n\n", cfg.Seed, cfg.Trials, cfg.Parallelism, cfg.SkipSlow)
 
 	failures := 0
 	start := time.Now()

@@ -2,13 +2,15 @@
 // a small exhaustive system: that a concrete protocol implements its
 // knowledge-based program (Theorems 6.5, 6.6, A.21), that the safety
 // condition of Definition 6.2 holds (Proposition 6.4), and that the
-// optimality characterization of Theorem 7.5 holds over γ_fip.
+// optimality characterization of Theorem 7.5 holds over γ_fip. Stack
+// names resolve against the library registry.
 //
 // Usage:
 //
 //	ebacheck -stack min -n 3 -t 1            # Pmin implements P0
 //	ebacheck -stack fip -n 3 -t 1            # Popt implements P1 + Theorem 7.5
 //	ebacheck -stack basic -n 3 -t 1 -safety  # + Definition 6.2
+//	ebacheck -stack fip-nock -n 3 -t 1       # the ablation implements P0
 //
 // Everything is exhaustive: expect exponential cost beyond n=4, t=1.
 package main
@@ -17,10 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/episteme"
+	eba "repro"
 )
 
 func main() {
@@ -30,10 +32,26 @@ func main() {
 	}
 }
 
+// checkableStacks are the registered stacks that declare a
+// knowledge-based program to check against (StackInfo.Program): Popt
+// implements P1; Pmin, Pbasic, and the ablated Popt-nock implement P0
+// over their respective exchanges. Stacks that implement neither program
+// (naive, fip+pmin) carry no Program and are excluded, so a stack added
+// to the registry picks its checkability there, not here.
+func checkableStacks() []string {
+	var names []string
+	for _, info := range eba.Stacks() {
+		if info.Program != "" {
+			names = append(names, info.Name)
+		}
+	}
+	return names
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ebacheck", flag.ContinueOnError)
 	var (
-		stackName  = fs.String("stack", "min", "protocol stack: min, basic, or fip")
+		stackName  = fs.String("stack", "min", "protocol stack: "+strings.Join(checkableStacks(), ", "))
 		n          = fs.Int("n", 3, "number of agents")
 		t          = fs.Int("t", 1, "failure bound t")
 		safety     = fs.Bool("safety", false, "also check the Definition 6.2 safety condition")
@@ -43,18 +61,24 @@ func run(args []string) error {
 		return err
 	}
 
-	var stack core.Stack
-	prog := episteme.P0
-	switch *stackName {
-	case "min":
-		stack = core.Min(*n, *t)
-	case "basic":
-		stack = core.Basic(*n, *t)
-	case "fip":
-		stack = core.FIP(*n, *t)
-		prog = episteme.P1
-	default:
-		return fmt.Errorf("unknown stack %q", *stackName)
+	var info eba.StackInfo
+	for _, si := range eba.Stacks() {
+		if si.Name == *stackName && si.Program != "" {
+			info = si
+			break
+		}
+	}
+	if info.Name == "" {
+		return fmt.Errorf("unknown or uncheckable stack %q (have %s)",
+			*stackName, strings.Join(checkableStacks(), ", "))
+	}
+	stack, err := eba.NewStack(info.Name, eba.WithN(*n), eba.WithT(*t))
+	if err != nil {
+		return err
+	}
+	prog := eba.ProgramP0
+	if info.Program == "P1" {
+		prog = eba.ProgramP1
 	}
 
 	fmt.Printf("building exhaustive system for %s (n=%d, t=%d, horizon=%d)...\n",
@@ -90,7 +114,7 @@ func run(args []string) error {
 			for _, v := range vs {
 				fmt.Println("  ", v)
 			}
-			if stack.Name == "fip" {
+			if strings.HasPrefix(stack.Name, "fip") {
 				fmt.Println("  (expected: Section 6 notes P0 is not safe wrt full information)")
 			} else {
 				return fmt.Errorf("safety check failed")

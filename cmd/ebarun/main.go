@@ -1,26 +1,25 @@
 // Command ebarun executes one EBA configuration and prints the per-round
-// trace, the decision ledger, and the traffic statistics.
+// trace, the decision ledger, and the traffic statistics. Stack,
+// exchange, and action names resolve against the library registry, so
+// every pairing the library can build is selectable here — including
+// ad-hoc compositions written as "exchange+action".
 //
 // Usage:
 //
 //	ebarun -stack fip -n 6 -t 2 -adversary example71 -inits all1
-//	ebarun -stack min -n 5 -t 2 -adversary random -seed 7 -inits 01101
-//	ebarun -stack basic -n 4 -t 1 -adversary silent:0,2 -concurrent
+//	ebarun -stack fip+pmin -n 5 -t 2 -adversary silent:0 -inits all1
+//	ebarun -stack basic+pmin -n 5 -t 2 -inits 01101   # ad-hoc composition
+//	ebarun -stack basic -n 4 -t 1 -executor concurrent
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/model"
-	"repro/internal/spec"
+	eba "repro"
 	"repro/internal/trace"
 )
 
@@ -34,19 +33,27 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ebarun", flag.ContinueOnError)
 	var (
-		stackName  = fs.String("stack", "basic", "protocol stack: min, basic, fip, or naive")
+		stackName = fs.String("stack", "basic",
+			"protocol stack: "+strings.Join(eba.StackNames(), ", ")+", or an ad-hoc \"exchange+action\" pairing")
 		n          = fs.Int("n", 5, "number of agents")
 		t          = fs.Int("t", 2, "failure bound t")
-		advSpec    = fs.String("adversary", "none", "adversary: none, example71, random, or silent:<ids>")
+		advSpec    = fs.String("adversary", "none", "adversary: "+eba.AdversarySpecSyntax)
 		seed       = fs.Int64("seed", 1, "seed for -adversary random")
 		drop       = fs.Float64("drop", 0.5, "drop probability for -adversary random")
 		initsSpec  = fs.String("inits", "all1", "initial preferences: all0, all1, or a 0/1 string")
-		concurrent = fs.Bool("concurrent", false, "run on the goroutine runtime instead of the engine")
+		execName   = fs.String("executor", "sequential", "execution substrate: sequential or concurrent")
+		concurrent = fs.Bool("concurrent", false, "deprecated alias for -executor concurrent")
 		format     = fs.String("format", "summary", "output: summary, trace (message-level), or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	executorSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "executor" {
+			executorSet = true
+		}
+	})
 
 	stack, err := makeStack(*stackName, *n, *t)
 	if err != nil {
@@ -60,13 +67,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	var res *engine.Result
-	if *concurrent {
-		res, err = stack.RunConcurrent(pat, inits)
-	} else {
-		res, err = stack.Run(pat, inits)
+	executor, err := makeExecutor(*execName, *concurrent, executorSet)
+	if err != nil {
+		return err
 	}
+
+	runner := eba.NewRunner(stack, eba.WithExecutor(executor))
+	res, err := runner.Run(context.Background(), eba.Scenario{Pattern: pat, Inits: inits})
 	if err != nil {
 		return err
 	}
@@ -88,8 +95,8 @@ func run(args []string) error {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 
-	fmt.Printf("stack=%s n=%d t=%d horizon=%d adversary=%s\n",
-		stack.Name, *n, *t, stack.Horizon(), pat)
+	fmt.Printf("stack=%s n=%d t=%d horizon=%d executor=%s adversary=%s\n",
+		stack.Name, *n, *t, stack.Horizon(), executor.Name(), pat)
 	fmt.Printf("inits: %s\n\n", renderValues(inits))
 	for m := 0; m < res.Horizon; m++ {
 		var acts []string
@@ -106,7 +113,7 @@ func run(args []string) error {
 	}
 	fmt.Println()
 	for i := 0; i < res.N; i++ {
-		id := model.AgentID(i)
+		id := eba.AgentID(i)
 		status := "nonfaulty"
 		if res.Pattern.Faulty(id) {
 			status = "FAULTY"
@@ -121,7 +128,7 @@ func run(args []string) error {
 		res.Stats.MessagesSent, res.Stats.BitsSent,
 		res.Stats.MessagesDelivered, res.Stats.BitsDelivered)
 
-	if vs := spec.CheckRun(res, spec.Options{RoundBound: stack.Horizon()}); len(vs) != 0 {
+	if vs := eba.CheckRun(res, eba.SpecOptions{RoundBound: stack.Horizon()}); len(vs) != 0 {
 		fmt.Println("\nEBA specification violations:")
 		for _, v := range vs {
 			fmt.Println(" ", v)
@@ -136,64 +143,68 @@ func run(args []string) error {
 	return nil
 }
 
-func makeStack(name string, n, t int) (core.Stack, error) {
+// makeStack resolves a registered stack name, falling back to the
+// "exchange+action" composition syntax for ad-hoc pairings.
+func makeStack(name string, n, t int) (eba.Stack, error) {
+	st, err := eba.NewStack(name, eba.WithN(n), eba.WithT(t))
+	if err == nil {
+		return st, nil
+	}
+	if exName, actName, ok := strings.Cut(name, "+"); ok {
+		st, composeErr := eba.Compose(exName, actName, eba.WithN(n), eba.WithT(t))
+		if composeErr == nil {
+			return st, nil
+		}
+		return eba.Stack{}, composeErr
+	}
+	return eba.Stack{}, err
+}
+
+// makeExecutor resolves the executor name; the deprecated -concurrent
+// alias applies only after the name validates, and conflicts with an
+// explicit -executor sequential rather than silently overriding it.
+func makeExecutor(name string, concurrentFlag, executorSet bool) (eba.Executor, error) {
+	var executor eba.Executor
 	switch name {
-	case "min":
-		return core.Min(n, t), nil
-	case "basic":
-		return core.Basic(n, t), nil
-	case "fip":
-		return core.FIP(n, t), nil
-	case "naive":
-		return core.Naive(n, t), nil
+	case "sequential":
+		executor = eba.Sequential
+	case "concurrent":
+		executor = eba.Concurrent
 	default:
-		return core.Stack{}, fmt.Errorf("unknown stack %q", name)
+		return nil, fmt.Errorf("unknown executor %q (have sequential, concurrent)", name)
 	}
+	if concurrentFlag {
+		if executorSet && name == "sequential" {
+			return nil, fmt.Errorf("-concurrent conflicts with -executor sequential")
+		}
+		executor = eba.Concurrent
+	}
+	return executor, nil
 }
 
-func makeAdversary(specStr string, n, t, horizon int, seed int64, drop float64) (*model.Pattern, error) {
-	switch {
-	case specStr == "none":
-		return adversary.FailureFree(n, horizon), nil
-	case specStr == "example71":
-		return adversary.Example71(n, t, horizon), nil
-	case specStr == "random":
-		return adversary.RandomSO(rand.New(rand.NewSource(seed)), n, t, horizon, drop), nil
-	case strings.HasPrefix(specStr, "silent:"):
-		var agents []model.AgentID
-		for _, part := range strings.Split(strings.TrimPrefix(specStr, "silent:"), ",") {
-			id, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || id < 0 || id >= n {
-				return nil, fmt.Errorf("bad agent id %q in %q", part, specStr)
-			}
-			agents = append(agents, model.AgentID(id))
-		}
-		if len(agents) > t {
-			return nil, fmt.Errorf("%d silent agents exceed t=%d", len(agents), t)
-		}
-		return adversary.Silent(n, horizon, agents...), nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", specStr)
-	}
+// makeAdversary delegates to the library's spec parser, the single place
+// adversary spec forms are defined.
+func makeAdversary(specStr string, n, t, horizon int, seed int64, drop float64) (*eba.Pattern, error) {
+	return eba.ParseAdversary(specStr, n, t, horizon, seed, drop)
 }
 
-func makeInits(specStr string, n int) ([]model.Value, error) {
+func makeInits(specStr string, n int) ([]eba.Value, error) {
 	switch specStr {
 	case "all0":
-		return adversary.UniformInits(n, model.Zero), nil
+		return eba.UniformInits(n, eba.Zero), nil
 	case "all1":
-		return adversary.UniformInits(n, model.One), nil
+		return eba.UniformInits(n, eba.One), nil
 	}
 	if len(specStr) != n {
 		return nil, fmt.Errorf("inits %q has %d digits for %d agents", specStr, len(specStr), n)
 	}
-	out := make([]model.Value, n)
+	out := make([]eba.Value, n)
 	for i, ch := range specStr {
 		switch ch {
 		case '0':
-			out[i] = model.Zero
+			out[i] = eba.Zero
 		case '1':
-			out[i] = model.One
+			out[i] = eba.One
 		default:
 			return nil, fmt.Errorf("inits %q must be 0/1 digits", specStr)
 		}
@@ -201,7 +212,7 @@ func makeInits(specStr string, n int) ([]model.Value, error) {
 	return out, nil
 }
 
-func renderValues(vs []model.Value) string {
+func renderValues(vs []eba.Value) string {
 	var b strings.Builder
 	for _, v := range vs {
 		b.WriteString(v.String())

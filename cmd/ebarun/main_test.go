@@ -3,7 +3,7 @@ package main
 import (
 	"testing"
 
-	"repro/internal/model"
+	eba "repro"
 )
 
 func TestRunEndToEnd(t *testing.T) {
@@ -13,10 +13,28 @@ func TestRunEndToEnd(t *testing.T) {
 		{"-stack", "fip", "-n", "4", "-t", "2", "-adversary", "example71", "-inits", "all1"},
 		{"-stack", "min", "-n", "4", "-t", "1", "-adversary", "random", "-seed", "3", "-inits", "all0"},
 		{"-stack", "basic", "-n", "3", "-t", "1", "-concurrent"},
+		{"-stack", "basic", "-n", "3", "-t", "1", "-executor", "concurrent"},
 		{"-stack", "min", "-n", "3", "-t", "1", "-format", "trace"},
 		{"-stack", "min", "-n", "3", "-t", "1", "-format", "json"},
+		// The previously unreachable pairings, by registry name.
+		{"-stack", "fip+pmin", "-n", "4", "-t", "1", "-adversary", "silent:0", "-inits", "all1"},
+		{"-stack", "fip-nock", "-n", "4", "-t", "1", "-adversary", "example71", "-inits", "all1"},
+		// Ad-hoc composition syntax.
+		{"-stack", "basic+pmin", "-n", "4", "-t", "1", "-inits", "all1"},
 	}
 	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+}
+
+func TestEveryRegisteredStackIsSelectable(t *testing.T) {
+	// The satellite fix for stack-name drift: the CLI accepts exactly the
+	// registry's names, so a stack added to the registry is selectable
+	// here with no CLI change.
+	for _, name := range eba.StackNames() {
+		args := []string{"-stack", name, "-n", "4", "-t", "1", "-adversary", "silent:0", "-inits", "all1"}
 		if err := run(args); err != nil {
 			t.Errorf("run(%v) = %v", args, err)
 		}
@@ -26,6 +44,9 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-stack", "bogus"},
+		{"-stack", "fip+pnaive"},                     // incompatible composition
+		{"-stack", "bogus+pmin"},                     // unknown exchange in composition
+		{"-executor", "bogus", "-n", "3", "-t", "1"}, // unknown executor
 		{"-adversary", "bogus"},
 		{"-adversary", "silent:9"},                      // agent out of range
 		{"-adversary", "silent:0,1,2,3"},                // exceeds t
@@ -46,7 +67,7 @@ func TestMakeInits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []model.Value{model.Zero, model.One, model.One, model.Zero}
+	want := []eba.Value{eba.Zero, eba.One, eba.One, eba.Zero}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("inits[%d] = %v, want %v", i, got[i], want[i])
@@ -61,6 +82,25 @@ func TestMakeAdversarySilentList(t *testing.T) {
 	}
 	if pat.Nonfaulty(0) || pat.Nonfaulty(2) || !pat.Nonfaulty(1) {
 		t.Error("silent list not applied")
+	}
+}
+
+func TestMakeStackComposedName(t *testing.T) {
+	// A composition matching a registered pairing gets its canonical name.
+	st, err := makeStack("fip+pmin", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "fip+pmin" {
+		t.Errorf("stack name = %q, want fip+pmin", st.Name)
+	}
+	// An ad-hoc pairing is named after its parts.
+	st, err = makeStack("basic+pmin", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "basic+pmin" {
+		t.Errorf("stack name = %q, want basic+pmin", st.Name)
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command ebasynth derives a concrete action protocol from a
 // knowledge-based program by epistemic fixpoint construction — the
 // "epistemic synthesis" direction the paper's discussion proposes — and
-// compares it against the paper's hand-written implementation.
+// compares it against the paper's hand-written implementation. Exchange
+// names resolve against the library registry.
 //
 // Usage:
 //
@@ -13,12 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
-	"repro/internal/action"
-	"repro/internal/core"
-	"repro/internal/episteme"
-	"repro/internal/model"
+	eba "repro"
 )
 
 func main() {
@@ -28,10 +28,18 @@ func main() {
 	}
 }
 
+// references maps a synthesizable exchange to the registered stack whose
+// action protocol is the paper's hand-written implementation of P0 over
+// it (Theorems 6.5 and 6.6).
+var references = map[string]string{
+	"min":   "min",
+	"basic": "basic",
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ebasynth", flag.ContinueOnError)
 	var (
-		exName = fs.String("exchange", "min", "information exchange: min or basic")
+		exName = fs.String("exchange", "min", "information exchange: min or basic (registry names)")
 		n      = fs.Int("n", 3, "number of agents")
 		t      = fs.Int("t", 1, "failure bound t")
 	)
@@ -39,23 +47,26 @@ func run(args []string) error {
 		return err
 	}
 
-	var stack core.Stack
-	var reference model.ActionProtocol
-	switch *exName {
-	case "min":
-		stack = core.Min(*n, *t)
-		reference = action.NewMin(*t)
-	case "basic":
-		stack = core.Basic(*n, *t)
-		reference = action.NewBasic(*n)
-	default:
-		return fmt.Errorf("unknown exchange %q", *exName)
+	stackName, ok := references[*exName]
+	if !ok {
+		supported := make([]string, 0, len(references))
+		for name := range references {
+			supported = append(supported, name)
+		}
+		sort.Strings(supported)
+		return fmt.Errorf("no synthesis reference for exchange %q (have %s; registry exchanges: %s)",
+			*exName, strings.Join(supported, ", "), strings.Join(eba.ExchangeNames(), ", "))
 	}
+	stack, err := eba.NewStack(stackName, eba.WithN(*n), eba.WithT(*t))
+	if err != nil {
+		return err
+	}
+	reference := stack.Action
 
 	fmt.Printf("synthesizing a concrete protocol from P0 over %s (n=%d, t=%d)...\n",
 		stack.Exchange.Name(), *n, *t)
 	t0 := time.Now()
-	synth, sys, err := episteme.Synthesize(stack.EpistemeContext(), episteme.P0)
+	synth, sys, err := eba.Synthesize(stack, eba.ProgramP0)
 	if err != nil {
 		return err
 	}
@@ -67,7 +78,7 @@ func run(args []string) error {
 	for _, res := range sys.Runs {
 		for m := 0; m < sys.Horizon; m++ {
 			for i := 0; i < sys.N; i++ {
-				id := model.AgentID(i)
+				id := eba.AgentID(i)
 				if synth.Act(id, res.States[m][i]) != reference.Act(id, res.States[m][i]) {
 					diffs++
 				}

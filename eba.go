@@ -4,32 +4,50 @@
 // agreement under sending-omission failures with limited information
 // exchange.
 //
-// The package exposes the paper's three protocol stacks —
+// The paper's central move is treating a protocol as a *pair*
+// ⟨information exchange E, action protocol P⟩; the package makes that
+// pairing a first-class operation. Stacks are constructed by name from a
+// registry of exchanges, action protocols, and their valid pairings —
 //
-//	Min(n, t)   — the minimal exchange with P_min (n² bits per run)
-//	Basic(n, t) — the basic exchange with P_basic (O(n²t) bits)
-//	FIP(n, t)   — full information with P_opt, the polynomial-time optimal
-//	              protocol that settles the open problem of Halpern,
-//	              Moses, and Waarts (SIAM J. Comput. 2001)
+//	min      = ⟨Emin,  Pmin⟩      — n² bits per run
+//	basic    = ⟨Ebasic, Pbasic⟩    — O(n²t) bits
+//	fip      = ⟨Efip,  Popt⟩      — the polynomial-time optimum that
+//	           settles the open problem of Halpern, Moses, and Waarts
+//	           (SIAM J. Comput. 2001)
+//	fip+pmin = ⟨Efip,  Pmin⟩      — correct-but-dominated baseline
+//	fip-nock = ⟨Efip,  Popt-nock⟩ — the common-knowledge ablation
+//	naive    = ⟨Ereport, Pnaive⟩   — the introduction's counterexample
 //
-// — together with failure-pattern builders, a deterministic round engine,
-// a concurrent goroutine runtime, an EBA specification checker, and an
+// — and executed through a Runner over a sequential or concurrent
+// substrate, one scenario at a time or as an order-preserving parallel
+// batch. Failure-pattern builders, an EBA specification checker, and an
 // epistemic model checker that can verify the paper's implementation and
-// optimality theorems on small systems.
+// optimality theorems on small systems round out the API.
 //
 // # Quickstart
 //
-//	stack := eba.Basic(5, 2)
+//	stack, _ := eba.NewStack("basic", eba.WithN(5), eba.WithT(2))
 //	pattern := eba.Silent(5, stack.Horizon(), 0) // agent 0 faulty & silent
 //	inits := []eba.Value{eba.One, eba.One, eba.Zero, eba.One, eba.One}
-//	res, err := stack.Run(pattern, inits)
+//	runner := eba.NewRunner(stack)
+//	res, err := runner.Run(ctx, eba.Scenario{Pattern: pattern, Inits: inits})
 //	// res.Decision, res.DecisionRound, res.Stats ...
 //
+// Batches fan out over a worker pool and stay deterministic:
+//
+//	runner = eba.NewRunner(stack, eba.WithParallelism(8), eba.WithBufferReuse())
+//	results, err := runner.RunBatch(ctx, scenarios) // results[k] ↔ scenarios[k]
+//
+// Any registry-valid ⟨exchange, action⟩ pairing the paper discusses is
+// constructible with Compose, e.g. eba.Compose("fip", "pmin") for the
+// full-information exchange driven by the minimal decision rule.
+//
 // Implementation detail lives under internal/: model (the formal objects),
-// exchange and action (the protocols), graph (communication graphs and the
-// polynomial-time analysis behind P_opt), engine and runtime (execution),
-// adversary (failure patterns), spec (the EBA specification), episteme
-// (the model checker), and experiments (the paper's evaluation tables).
+// exchange and action (the protocols), registry (the component catalogue),
+// graph (communication graphs and the polynomial-time analysis behind
+// P_opt), engine and runtime (execution), adversary (failure patterns),
+// spec (the EBA specification), episteme (the model checker), and
+// experiments (the paper's evaluation tables).
 package eba
 
 import (
@@ -92,25 +110,43 @@ const (
 
 // Min returns the minimal protocol stack ⟨Emin(n), P_min⟩, optimal with
 // respect to the minimal information exchange (Corollary 6.7).
+//
+// Deprecated: use NewStack("min", WithN(n), WithT(t)).
 func Min(n, t int) Stack { return core.Min(n, t) }
 
 // Basic returns the basic protocol stack ⟨Ebasic(n), P_basic⟩, optimal
 // with respect to the basic information exchange (Corollary 6.7).
+//
+// Deprecated: use NewStack("basic", WithN(n), WithT(t)).
 func Basic(n, t int) Stack { return core.Basic(n, t) }
 
 // FIP returns the full-information stack ⟨Efip(n), P_opt⟩, optimal with
 // respect to full information exchange (Corollary 7.8) and polynomial
 // time (Proposition 7.9).
+//
+// Deprecated: use NewStack("fip", WithN(n), WithT(t)).
 func FIP(n, t int) Stack { return core.FIP(n, t) }
+
+// FIPWithMin returns ⟨Efip(n), P_min⟩: the full-information exchange
+// driven by the minimal decision rule — full-information message costs
+// without the optimal decision times, the correct-but-dominated baseline
+// of the optimality experiments.
+//
+// Deprecated: use NewStack("fip+pmin", WithN(n), WithT(t)).
+func FIPWithMin(n, t int) Stack { return core.FIPWithMin(n, t) }
 
 // FIPNoCK returns the ablated full-information stack: P_opt without the
 // common-knowledge guards, i.e. the knowledge-based program P0 over full
 // information. Correct but not optimal.
+//
+// Deprecated: use NewStack("fip-nock", WithN(n), WithT(t)).
 func FIPNoCK(n, t int) Stack { return core.FIPNoCK(n, t) }
 
 // Naive returns the introduction's counterexample stack, which violates
 // Agreement under omission failures. Use it to reproduce the paper's
 // impossibility argument, not to reach agreement.
+//
+// Deprecated: use NewStack("naive", WithN(n), WithT(t)).
 func Naive(n, t int) Stack { return core.Naive(n, t) }
 
 // SO returns the sending-omissions failure model with at most t faults.
@@ -145,6 +181,18 @@ func RandomSO(rng *rand.Rand, n, t, horizon int, dropProb float64) *Pattern {
 // RandomCrash returns a seeded random crash(t) pattern.
 func RandomCrash(rng *rand.Rand, n, t, horizon int) *Pattern {
 	return adversary.RandomCrash(rng, n, t, horizon)
+}
+
+// AdversarySpecSyntax documents the spec-string forms ParseAdversary
+// accepts, for CLI help text.
+const AdversarySpecSyntax = adversary.SpecSyntax
+
+// ParseAdversary builds a failure pattern from a CLI-style spec string:
+// "none", "example71", "random" (uses seed and drop), or "silent:<ids>".
+// Like stack names, the forms live in one place so command-line tools
+// cannot drift from the library.
+func ParseAdversary(spec string, n, t, horizon int, seed int64, drop float64) (*Pattern, error) {
+	return adversary.Parse(spec, n, t, horizon, seed, drop)
 }
 
 // UniformInits returns an n-vector of identical initial preferences.

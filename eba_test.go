@@ -1,6 +1,7 @@
 package eba_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -125,6 +126,133 @@ func TestPublicVerifyOptimality(t *testing.T) {
 	// At t=1 the ablation coincides with P_opt (see episteme tests), so
 	// it passes here too; the check exercises the public path either way.
 	_ = bad
+}
+
+func TestPublicRegistryConstruction(t *testing.T) {
+	// Every registered pairing — including the pairings the old fixed
+	// constructors could not reach — is constructible by name and runs.
+	names := eba.StackNames()
+	if len(names) != 6 {
+		t.Fatalf("StackNames() = %v, want 6 names", names)
+	}
+	pat := eba.Silent(4, 3, 0)
+	inits := eba.UniformInits(4, eba.One)
+	for _, name := range names {
+		stack, err := eba.NewStack(name, eba.WithN(4), eba.WithT(1))
+		if err != nil {
+			t.Fatalf("NewStack(%q): %v", name, err)
+		}
+		if stack.Name != name {
+			t.Errorf("NewStack(%q).Name = %q", name, stack.Name)
+		}
+		res, err := eba.NewRunner(stack).Run(context.Background(),
+			eba.Scenario{Pattern: pat, Inits: inits})
+		if err != nil {
+			t.Fatalf("run %q: %v", name, err)
+		}
+		if res.N != 4 {
+			t.Errorf("%q ran %d agents, want 4", name, res.N)
+		}
+	}
+	if len(eba.ExchangeNames()) != 4 || len(eba.ActionNames()) != 5 {
+		t.Errorf("component listings: %v / %v", eba.ExchangeNames(), eba.ActionNames())
+	}
+	for _, info := range eba.Stacks() {
+		if info.Description == "" {
+			t.Errorf("stack %q has no description", info.Name)
+		}
+	}
+}
+
+func TestPublicComposeReachesEveryPairing(t *testing.T) {
+	// The acceptance criterion: fip+pmin, previously unreachable from the
+	// facade, composes and is dominated by fip on Example 7.1.
+	n, tf := 6, 3
+	pat := eba.Example71(n, tf, tf+2)
+	inits := eba.UniformInits(n, eba.One)
+	sc := eba.Scenario{Pattern: pat, Inits: inits}
+	ctx := context.Background()
+
+	fipmin, err := eba.Compose("fip", "pmin", eba.WithN(n), eba.WithT(tf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fipmin.Name != "fip+pmin" {
+		t.Errorf("composed name = %q, want fip+pmin", fipmin.Name)
+	}
+	rMin, err := eba.NewRunner(fipmin).Run(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fip, err := eba.NewStack("fip", eba.WithN(n), eba.WithT(tf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOpt, err := eba.NewRunner(fip).Run(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same exchange, different action protocol: Popt exploits common
+	// knowledge and decides in round 3, Pmin waits out t+2.
+	if rOpt.MaxDecisionRound(true) != 3 || rMin.MaxDecisionRound(true) != tf+2 {
+		t.Errorf("fip decided round %d (want 3), fip+pmin round %d (want %d)",
+			rOpt.MaxDecisionRound(true), rMin.MaxDecisionRound(true), tf+2)
+	}
+	if _, err := eba.Compose("min", "popt"); err == nil {
+		t.Error("incompatible pairing accepted")
+	}
+}
+
+func TestPublicRunnerBatchAndStream(t *testing.T) {
+	n, tf := 5, 2
+	stack, err := eba.NewStack("basic", eba.WithN(n), eba.WithT(tf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	scenarios := make([]eba.Scenario, 12)
+	for k := range scenarios {
+		inits := make([]eba.Value, n)
+		for i := range inits {
+			inits[i] = eba.Value(rng.Intn(2))
+		}
+		scenarios[k] = eba.Scenario{
+			Pattern: eba.RandomSO(rng, n, tf, tf+2, 0.4),
+			Inits:   inits,
+		}
+	}
+	ctx := context.Background()
+	runner := eba.NewRunner(stack,
+		eba.WithExecutor(eba.Sequential),
+		eba.WithParallelism(4),
+		eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon()}),
+		eba.WithBufferReuse())
+	batch, err := runner.RunBatch(ctx, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, sc := range scenarios {
+		want, err := stack.Run(sc.Pattern, sc.Inits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[k].Stats != want.Stats {
+			t.Fatalf("batch result %d diverges from the sequential path", k)
+		}
+	}
+	next := 0
+	for oc := range runner.Stream(ctx, scenarios) {
+		if oc.Err != nil {
+			t.Fatal(oc.Err)
+		}
+		if oc.Index != next {
+			t.Fatalf("stream emitted %d, want %d", oc.Index, next)
+		}
+		next++
+	}
+	if next != len(scenarios) {
+		t.Fatalf("stream emitted %d outcomes, want %d", next, len(scenarios))
+	}
 }
 
 func TestPublicNaiveIsBroken(t *testing.T) {

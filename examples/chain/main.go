@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,8 @@ func runRPrime(stack eba.Stack) *eba.Result {
 			pattern.Drop(m, 0, eba.AgentID(j))
 		}
 	}
-	res, err := stack.Run(pattern, []eba.Value{eba.Zero, eba.One, eba.One})
+	res, err := eba.NewRunner(stack).Run(context.Background(),
+		eba.Scenario{Pattern: pattern, Inits: []eba.Value{eba.Zero, eba.One, eba.One}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,11 +80,19 @@ func main() {
 
 	// The naive protocol decides 0 on any evidence of an initial 0 —
 	// including agent 0's stale (init,0) report in round 2 of r′.
-	report("naive protocol on run r′", runRPrime(eba.Naive(n, t)))
+	naive, err := eba.NewStack("naive", eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("naive protocol on run r′", runRPrime(naive))
 
 	// P_min on the same adversary: the late report carries no decide-0
 	// announcement, so no 0-chain forms and both nonfaulty agents decide 1.
-	report("P_min on run r′", runRPrime(eba.Min(n, t)))
+	min, err := eba.NewStack("min", eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("P_min on run r′", runRPrime(min))
 
 	fmt.Println("The naive protocol's agent 2 trusts the stale 0 while agent 1 times out —")
 	fmt.Println("exactly the disagreement the paper's 0-chain condition is designed to prevent.")

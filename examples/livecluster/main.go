@@ -1,14 +1,15 @@
 // Livecluster runs the optimal full-information protocol on the
 // concurrent goroutine runtime: one goroutine per agent, a router
 // enforcing synchronized rounds and injecting a random omission
-// adversary. It then re-executes the same configuration on the
-// deterministic sequential engine and verifies the two traces agree —
-// the protocols are oblivious to which substrate they run on.
+// adversary. The same Runner API drives both substrates — only the
+// executor option changes — and the example verifies the two traces
+// agree: the protocols are oblivious to which substrate they run on.
 //
 //	go run ./examples/livecluster [seed]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,13 +33,18 @@ func main() {
 		seed = s
 	}
 
-	stack := eba.FIP(n, t)
+	stack, err := eba.NewStack("fip", eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	pattern := eba.RandomSO(rng, n, t, stack.Horizon(), 0.4)
 	inits := make([]eba.Value, n)
 	for i := range inits {
 		inits[i] = eba.Value(rng.Intn(2))
 	}
+	scenario := eba.Scenario{Pattern: pattern, Inits: inits}
+	specOpts := eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}
 
 	fmt.Printf("live cluster: %d agent goroutines, %s, seed %d\n", n, eba.SO(t), seed)
 	fmt.Printf("adversary: %v\n", pattern)
@@ -49,7 +55,10 @@ func main() {
 	fmt.Println()
 	fmt.Println()
 
-	conc, err := stack.RunConcurrent(pattern, inits)
+	ctx := context.Background()
+	conc, err := eba.NewRunner(stack,
+		eba.WithExecutor(eba.Concurrent),
+		eba.WithSpecCheck(specOpts)).Run(ctx, scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,12 +71,8 @@ func main() {
 		fmt.Printf("agent %d [%s] decided %v in round %d\n", i, role, conc.Decided(id), conc.Round(id))
 	}
 
-	if vs := eba.CheckRun(conc, eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}); len(vs) > 0 {
-		log.Fatalf("specification violated: %v", vs)
-	}
-
-	// Cross-check against the deterministic engine.
-	seq, err := stack.Run(pattern, inits)
+	// Cross-check against the deterministic sequential engine.
+	seq, err := eba.NewRunner(stack, eba.WithExecutor(eba.Sequential)).Run(ctx, scenario)
 	if err != nil {
 		log.Fatal(err)
 	}

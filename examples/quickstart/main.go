@@ -1,11 +1,13 @@
 // Quickstart: reach eventual Byzantine agreement among five agents, two
 // of which may omit messages, using the paper's basic protocol stack
-// ⟨Ebasic, P_basic⟩.
+// ⟨Ebasic, P_basic⟩ — constructed by name from the registry and executed
+// through a Runner that checks every run against the EBA specification.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +19,10 @@ func main() {
 		n = 5 // agents
 		t = 2 // failure bound
 	)
-	stack := eba.Basic(n, t)
+	stack, err := eba.NewStack("basic", eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Agent 0 is faulty: every message it sends is lost. Its initial
 	// preference is the only 0 in the system — so the nonfaulty agents,
@@ -25,7 +30,11 @@ func main() {
 	pattern := eba.Silent(n, stack.Horizon(), 0)
 	inits := []eba.Value{eba.Zero, eba.One, eba.One, eba.One, eba.One}
 
-	res, err := stack.Run(pattern, inits)
+	// The runner verifies each run against the EBA specification of the
+	// paper: Unique Decision, Agreement, Validity, Termination by t+2.
+	runner := eba.NewRunner(stack,
+		eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}))
+	res, err := runner.Run(context.Background(), eba.Scenario{Pattern: pattern, Inits: inits})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,11 +46,5 @@ func main() {
 			i, inits[i], res.Decided(id), res.Round(id))
 	}
 	fmt.Printf("\nbits sent: %d (the basic exchange costs O(n²t) bits per run)\n", res.Stats.BitsSent)
-
-	// Every run can be checked against the EBA specification of the
-	// paper: Unique Decision, Agreement, Validity, Termination by t+2.
-	if vs := eba.CheckRun(res, eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}); len(vs) > 0 {
-		log.Fatalf("specification violated: %v", vs)
-	}
 	fmt.Println("EBA specification: satisfied")
 }

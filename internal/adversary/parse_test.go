@@ -1,0 +1,38 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParseForms(t *testing.T) {
+	if p, err := Parse("none", 4, 1, 3, 0, 0); err != nil || p.NumFaulty() != 0 {
+		t.Errorf("none: %v, %d faulty", err, p.NumFaulty())
+	}
+	p, err := Parse("example71", 4, 2, 4, 0, 0)
+	if err != nil || !p.Faulty(0) || !p.Faulty(1) || p.Faulty(2) {
+		t.Errorf("example71: %v, faulty set %v", err, p.FaultySet())
+	}
+	if p, err = Parse("random", 5, 2, 4, 7, 0.5); err != nil || p.NumFaulty() > 2 {
+		t.Errorf("random: %v", err)
+	}
+	p, err = Parse("silent:0, 2", 4, 2, 4, 0, 0)
+	if err != nil || !p.Faulty(0) || !p.Faulty(model.AgentID(2)) || p.Faulty(1) {
+		t.Errorf("silent list: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus",
+		"silent:9",       // agent out of range
+		"silent:x",       // not a number
+		"silent:0,1,2,3", // exceeds t
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec, 4, 2, 4, 0, 0); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}

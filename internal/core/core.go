@@ -3,24 +3,31 @@
 // optimal with respect to it — and provides the high-level entry points
 // the examples, benchmarks, and command-line tools are built on.
 //
-// The three stacks of the paper:
+// Stacks are constructed by name through internal/registry, which is the
+// single catalogue of exchanges, action protocols, and their valid
+// pairings:
 //
-//	Min(n, t)   = ⟨Emin(n),  P_min⟩   — n² bits per run, decides by t+2
-//	Basic(n, t) = ⟨Ebasic(n), P_basic⟩ — O(n²t) bits, round 2 when failure-free
-//	FIP(n, t)   = ⟨Efip(n),  P_opt⟩   — O(n⁴t²) bits, optimal (Corollary 7.8)
+//	min      = ⟨Emin,  Pmin⟩      — n² bits per run, decides by t+2
+//	basic    = ⟨Ebasic, Pbasic⟩    — O(n²t) bits, round 2 when failure-free
+//	fip      = ⟨Efip,  Popt⟩      — O(n⁴t²) bits, optimal (Corollary 7.8)
+//	fip+pmin = ⟨Efip,  Pmin⟩      — correct-but-dominated baseline
+//	fip-nock = ⟨Efip,  Popt-nock⟩ — the common-knowledge ablation
+//	naive    = ⟨Ereport, Pnaive⟩   — NOT an EBA protocol under omissions
 //
-// plus Naive(n, t), the introduction's counterexample protocol over the
-// report exchange, which is NOT an EBA protocol under omission failures.
+// NewStack resolves a named pairing; Compose builds any registry-valid
+// ⟨exchange, action⟩ pair, named after the registered stack it matches or
+// "exchange+action" otherwise. Execution happens through a Runner (see
+// runner.go), which batches scenarios over a sequential or concurrent
+// executor.
 package core
 
 import (
 	"fmt"
 
-	"repro/internal/action"
 	"repro/internal/engine"
 	"repro/internal/episteme"
-	"repro/internal/exchange"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/runtime"
 )
 
@@ -28,7 +35,8 @@ import (
 // with a matching action protocol and the failure bound they are
 // configured for.
 type Stack struct {
-	// Name identifies the stack ("min", "basic", "fip", "naive").
+	// Name identifies the stack ("min", "basic", "fip", "fip+pmin",
+	// "fip-nock", "naive", or "exchange+action" for ad-hoc pairings).
 	Name string
 	// Exchange is the information-exchange protocol E.
 	Exchange model.Exchange
@@ -36,72 +44,157 @@ type Stack struct {
 	Action model.ActionProtocol
 	// N is the number of agents, T the failure bound.
 	N, T int
+
+	// horizon, when positive, overrides the default t+2 execution horizon
+	// (set with WithHorizon).
+	horizon int
 }
+
+// Option configures NewStack and Compose.
+type Option func(*stackConfig)
+
+type stackConfig struct {
+	n, t    int
+	horizon int
+}
+
+// WithN sets the number of agents (default 5).
+func WithN(n int) Option { return func(c *stackConfig) { c.n = n } }
+
+// WithT sets the failure bound t (default 2).
+func WithT(t int) Option { return func(c *stackConfig) { c.t = t } }
+
+// WithHorizon overrides the stack's execution horizon (default t+2, the
+// bound of Proposition 6.1 by which every EBA stack has decided).
+func WithHorizon(h int) Option { return func(c *stackConfig) { c.horizon = h } }
+
+// NewStack constructs a registered stack by name. The default
+// configuration is n=5 agents with failure bound t=2; override with
+// WithN, WithT, and WithHorizon.
+func NewStack(name string, opts ...Option) (Stack, error) {
+	info, err := registry.Stack(name)
+	if err != nil {
+		return Stack{}, err
+	}
+	s, err := Compose(info.Exchange, info.Action, opts...)
+	if err != nil {
+		return Stack{}, err
+	}
+	s.Name = info.Name
+	return s, nil
+}
+
+// Compose constructs the stack pairing the named exchange with the named
+// action protocol, validating the pairing against the registry. If the
+// pair is a registered stack the result carries its canonical name;
+// otherwise it is named "exchange+action".
+func Compose(exchangeName, actionName string, opts ...Option) (Stack, error) {
+	cfg := stackConfig{n: 5, t: 2}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.n <= 0 {
+		return Stack{}, fmt.Errorf("core: %d agents; WithN requires n > 0", cfg.n)
+	}
+	if cfg.t < 0 {
+		return Stack{}, fmt.Errorf("core: negative failure bound %d", cfg.t)
+	}
+	if cfg.horizon < 0 {
+		return Stack{}, fmt.Errorf("core: negative horizon %d", cfg.horizon)
+	}
+	ex, act, err := registry.Compose(exchangeName, actionName, cfg.n, cfg.t)
+	if err != nil {
+		return Stack{}, err
+	}
+	name := exchangeName + "+" + actionName
+	if info, ok := registry.StackFor(exchangeName, actionName); ok {
+		name = info.Name
+	}
+	return Stack{Name: name, Exchange: ex, Action: act, N: cfg.n, T: cfg.t, horizon: cfg.horizon}, nil
+}
+
+// MustStack is NewStack for call sites where the name and configuration
+// are compile-time constants and an error is a bug.
+func MustStack(name string, opts ...Option) Stack {
+	s, err := NewStack(name, opts...)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return s
+}
+
+// StackNames lists the registered stack names, sorted.
+func StackNames() []string { return registry.StackNames() }
 
 // Min returns the minimal stack ⟨Emin(n), P_min⟩ of Section 6.
-func Min(n, t int) Stack {
-	return Stack{Name: "min", Exchange: exchange.NewMin(n), Action: action.NewMin(t), N: n, T: t}
-}
+//
+// Deprecated: use NewStack("min", WithN(n), WithT(t)).
+func Min(n, t int) Stack { return MustStack("min", WithN(n), WithT(t)) }
 
 // Basic returns the basic stack ⟨Ebasic(n), P_basic⟩ of Section 6.
-func Basic(n, t int) Stack {
-	return Stack{Name: "basic", Exchange: exchange.NewBasic(n), Action: action.NewBasic(n), N: n, T: t}
-}
+//
+// Deprecated: use NewStack("basic", WithN(n), WithT(t)).
+func Basic(n, t int) Stack { return MustStack("basic", WithN(n), WithT(t)) }
 
 // FIP returns the full-information stack ⟨Efip(n), P_opt⟩ of Section 7.
-func FIP(n, t int) Stack {
-	return Stack{Name: "fip", Exchange: exchange.NewFIP(n), Action: action.NewOpt(t), N: n, T: t}
-}
+//
+// Deprecated: use NewStack("fip", WithN(n), WithT(t)).
+func FIP(n, t int) Stack { return MustStack("fip", WithN(n), WithT(t)) }
 
 // FIPWithMin returns ⟨Efip(n), P_min⟩: the full-information exchange
 // driven by the minimal decision rule. It pays full-information message
 // costs without the optimal decision times — used by the complexity
 // benchmarks to measure exchange cost independently of P_opt's compute,
 // and by the optimality experiments as a correct-but-dominated baseline.
-func FIPWithMin(n, t int) Stack {
-	return Stack{Name: "fip+pmin", Exchange: exchange.NewFIP(n), Action: action.NewMin(t), N: n, T: t}
-}
+//
+// Deprecated: use NewStack("fip+pmin", WithN(n), WithT(t)).
+func FIPWithMin(n, t int) Stack { return MustStack("fip+pmin", WithN(n), WithT(t)) }
 
 // FIPNoCK returns the ablated full-information stack ⟨Efip(n),
 // P_opt-without-common-knowledge⟩: an implementation of P0 over full
 // information. Correct but not optimal; experiment E15 quantifies what
 // the common-knowledge guards buy.
-func FIPNoCK(n, t int) Stack {
-	return Stack{Name: "fip-nock", Exchange: exchange.NewFIP(n), Action: action.NewOptNoCK(t), N: n, T: t}
-}
+//
+// Deprecated: use NewStack("fip-nock", WithN(n), WithT(t)).
+func FIPNoCK(n, t int) Stack { return MustStack("fip-nock", WithN(n), WithT(t)) }
 
 // Naive returns the introduction's counterexample stack ⟨Ereport(n),
 // P_naive⟩, which violates Agreement under omission failures.
-func Naive(n, t int) Stack {
-	return Stack{Name: "naive", Exchange: exchange.NewReport(n), Action: action.NewNaive(t), N: n, T: t}
+//
+// Deprecated: use NewStack("naive", WithN(n), WithT(t)).
+func Naive(n, t int) Stack { return MustStack("naive", WithN(n), WithT(t)) }
+
+// Horizon is the number of rounds the stack executes for: the WithHorizon
+// override if one was given, else t+2 — the bound after which every EBA
+// stack has decided (Proposition 6.1).
+func (s Stack) Horizon() int {
+	if s.horizon > 0 {
+		return s.horizon
+	}
+	return s.T + 2
 }
 
-// Horizon is the number of rounds after which every EBA stack has decided:
-// t+2 (Proposition 6.1).
-func (s Stack) Horizon() int { return s.T + 2 }
-
-// Run executes the stack sequentially under the failure pattern with the
-// given initial preferences.
-func (s Stack) Run(pat *model.Pattern, inits []model.Value) (*engine.Result, error) {
-	return engine.Run(engine.Config{
+// Config is the engine configuration for running the stack on a scenario.
+func (s Stack) Config(pat *model.Pattern, inits []model.Value) engine.Config {
+	return engine.Config{
 		Exchange: s.Exchange,
 		Action:   s.Action,
 		Pattern:  pat,
 		Inits:    inits,
 		Horizon:  s.Horizon(),
-	})
+	}
+}
+
+// Run executes the stack sequentially under the failure pattern with the
+// given initial preferences.
+func (s Stack) Run(pat *model.Pattern, inits []model.Value) (*engine.Result, error) {
+	return engine.Run(s.Config(pat, inits))
 }
 
 // RunConcurrent executes the stack with one goroutine per agent; the
 // result is identical to Run's.
 func (s Stack) RunConcurrent(pat *model.Pattern, inits []model.Value) (*engine.Result, error) {
-	return runtime.Run(engine.Config{
-		Exchange: s.Exchange,
-		Action:   s.Action,
-		Pattern:  pat,
-		Inits:    inits,
-		Horizon:  s.Horizon(),
-	})
+	return runtime.Run(s.Config(pat, inits))
 }
 
 // EpistemeContext returns the model-checking context for the stack's EBA
@@ -122,18 +215,4 @@ type Scenario struct {
 	Pattern *model.Pattern
 	// Inits holds the initial preferences.
 	Inits []model.Value
-}
-
-// RunScenarios executes the stack on each scenario, preserving order, so
-// that the result sets of two stacks correspond run-by-run.
-func (s Stack) RunScenarios(scenarios []Scenario) ([]*engine.Result, error) {
-	out := make([]*engine.Result, len(scenarios))
-	for k, sc := range scenarios {
-		res, err := s.Run(sc.Pattern, sc.Inits)
-		if err != nil {
-			return nil, fmt.Errorf("core: scenario %d: %w", k, err)
-		}
-		out[k] = res
-	}
-	return out, nil
 }

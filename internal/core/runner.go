@@ -1,0 +1,262 @@
+// The Runner: one execution front-end for every substrate. A Runner binds
+// a Stack to an engine.Executor (sequential engine or goroutine-per-agent
+// runtime) and executes scenarios one at a time (Run), as an
+// order-preserving parallel batch (RunBatch), or as a stream of outcomes
+// (Stream). Batches fan out over a worker pool of WithParallelism(k)
+// workers; each worker owns its own engine.Buffers when WithBufferReuse
+// is on, so the batch hot path allocates no per-round scratch. Because
+// every run is deterministic, parallel batches are bit-for-bit identical
+// to sequential ones — a property the tests enforce.
+package core
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/spec"
+)
+
+// Runner executes scenarios against one stack.
+type Runner struct {
+	stack       Stack
+	exec        engine.Executor
+	parallelism int
+	specOpts    *spec.Options
+	bufferReuse bool
+}
+
+// RunnerOption configures NewRunner.
+type RunnerOption func(*Runner)
+
+// WithExecutor selects the execution substrate (default
+// engine.Sequential{}; runtime.Concurrent{} runs one goroutine per
+// agent). Both substrates produce identical results.
+func WithExecutor(x engine.Executor) RunnerOption {
+	return func(r *Runner) { r.exec = x }
+}
+
+// WithParallelism sets the batch worker count (default 1, i.e. batches
+// run sequentially). k <= 0 means one worker per available CPU. Results
+// are independent of k: RunBatch and Stream preserve scenario order.
+func WithParallelism(k int) RunnerOption {
+	return func(r *Runner) {
+		if k <= 0 {
+			k = goruntime.GOMAXPROCS(0)
+		}
+		r.parallelism = k
+	}
+}
+
+// WithSpecCheck verifies every completed run against the EBA
+// specification of Section 5 with the given options. Violations are
+// reported on the outcome; Run and RunBatch turn them into a *SpecError.
+func WithSpecCheck(opts spec.Options) RunnerOption {
+	return func(r *Runner) { r.specOpts = &opts }
+}
+
+// WithBufferReuse gives every batch worker a private engine.Buffers
+// reused across its runs, eliminating per-round scratch allocation on the
+// batch hot path. Only buffer-aware executors profit; others ignore it.
+func WithBufferReuse() RunnerOption {
+	return func(r *Runner) { r.bufferReuse = true }
+}
+
+// NewRunner returns a Runner for the stack. With no options it runs
+// scenarios one at a time on the sequential engine.
+func NewRunner(stack Stack, opts ...RunnerOption) *Runner {
+	r := &Runner{stack: stack, exec: engine.Sequential{}, parallelism: 1}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Stack returns the stack the runner executes.
+func (r *Runner) Stack() Stack { return r.stack }
+
+// Executor returns the runner's execution substrate.
+func (r *Runner) Executor() engine.Executor { return r.exec }
+
+// RunOutcome is one completed (or failed) scenario of a Stream.
+type RunOutcome struct {
+	// Index is the scenario's position in the input slice.
+	Index int
+	// Scenario is the input that was run.
+	Scenario Scenario
+	// Result is the completed run; nil when Err is set.
+	Result *engine.Result
+	// Violations holds the EBA specification breaches found when
+	// WithSpecCheck is on (also wrapped into Err as a *SpecError).
+	Violations []spec.Violation
+	// Err reports an execution error, a specification violation, or the
+	// batch context's cancellation cause.
+	Err error
+}
+
+// SpecError is the error Run and RunBatch return when WithSpecCheck finds
+// violations in an otherwise successful run.
+type SpecError struct {
+	// Index is the offending scenario's position in the batch.
+	Index int
+	// Violations holds the specification breaches.
+	Violations []spec.Violation
+}
+
+// Error describes the first violation.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("runner: scenario %d violates the EBA specification (%d violation(s), first: %v)",
+		e.Index, len(e.Violations), e.Violations[0])
+}
+
+// Run executes one scenario.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (*engine.Result, error) {
+	var buf *engine.Buffers
+	if r.bufferReuse {
+		buf = engine.NewBuffers()
+	}
+	out := r.runOne(ctx, 0, sc, buf)
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	return out.Result, nil
+}
+
+// RunBatch executes the scenarios over the runner's worker pool and
+// returns their results in scenario order — result k corresponds to
+// scenario k, so result sets of different stacks over the same scenario
+// list correspond run-by-run (the correspondence the paper's dominance
+// order is defined over). The first execution error, specification
+// violation, or context cancellation aborts the batch.
+func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) ([]*engine.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]*engine.Result, len(scenarios))
+	done := 0
+	for oc := range r.Stream(ctx, scenarios) {
+		if oc.Err != nil {
+			return nil, oc.Err
+		}
+		out[oc.Index] = oc.Result
+		done++
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if done != len(scenarios) {
+		return nil, fmt.Errorf("runner: batch ended after %d of %d scenarios", done, len(scenarios))
+	}
+	return out, nil
+}
+
+// Stream executes the scenarios over the worker pool and emits outcomes
+// on the returned channel in scenario order. The channel closes when
+// every outcome has been emitted or the context is cancelled; the
+// consumer must drain the channel or cancel the context to release the
+// workers. Unlike RunBatch, a per-scenario error does not stop the
+// stream: the outcome carries it and later scenarios still run.
+func (r *Runner) Stream(ctx context.Context, scenarios []Scenario) <-chan RunOutcome {
+	out := make(chan RunOutcome)
+	go func() {
+		defer close(out)
+		workers := r.parallelism
+		if workers > len(scenarios) {
+			workers = len(scenarios)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+
+		jobs := make(chan int)
+		results := make(chan RunOutcome, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var buf *engine.Buffers
+				if r.bufferReuse {
+					buf = engine.NewBuffers()
+				}
+				for idx := range jobs {
+					select {
+					case results <- r.runOne(ctx, idx, scenarios[idx], buf):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			defer close(jobs)
+			for i := range scenarios {
+				select {
+				case jobs <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+
+		// Re-sequence: workers finish out of order, the stream emits in
+		// scenario order.
+		pending := make(map[int]RunOutcome, workers)
+		next := 0
+		for oc := range results {
+			pending[oc.Index] = oc
+			for {
+				o, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case out <- o:
+				case <-ctx.Done():
+					return
+				}
+				next++
+			}
+		}
+	}()
+	return out
+}
+
+// runOne executes one scenario, translating context cancellation,
+// execution errors, and specification violations into the outcome.
+func (r *Runner) runOne(ctx context.Context, idx int, sc Scenario, buf *engine.Buffers) RunOutcome {
+	oc := RunOutcome{Index: idx, Scenario: sc}
+	if err := ctx.Err(); err != nil {
+		oc.Err = err
+		return oc
+	}
+	res, err := r.exec.Execute(r.stack.Config(sc.Pattern, sc.Inits), buf)
+	if err != nil {
+		oc.Err = fmt.Errorf("runner: scenario %d: %w", idx, err)
+		return oc
+	}
+	oc.Result = res
+	if r.specOpts != nil {
+		if vs := spec.CheckRun(res, *r.specOpts); len(vs) > 0 {
+			oc.Violations = vs
+			oc.Err = &SpecError{Index: idx, Violations: vs}
+		}
+	}
+	return oc
+}
+
+// RunScenarios executes the stack on each scenario sequentially,
+// preserving order.
+//
+// Deprecated: use NewRunner(s).RunBatch, which adds parallelism, spec
+// checking, buffer reuse, and cancellation.
+func (s Stack) RunScenarios(scenarios []Scenario) ([]*engine.Result, error) {
+	return NewRunner(s, WithBufferReuse()).RunBatch(context.Background(), scenarios)
+}

@@ -74,8 +74,58 @@ type Result struct {
 	Stats Stats
 }
 
+// Buffers holds the per-round scratch of an execution — the outbox and
+// inbox matrices and the rolling state slices — so that a caller running
+// many configurations (a batch worker, a benchmark loop) can reuse them
+// across runs instead of reallocating ~2n²+2n words per round. A Buffers
+// value belongs to one goroutine at a time; the zero value is ready to
+// use. Nothing reachable from a returned Result aliases a buffer: states
+// and actions recorded in the trace are copied into fresh slices, and the
+// exchanges never retain the inbox slice they are handed.
+type Buffers struct {
+	outbox [][]model.Message
+	inbox  [][]model.Message
+	cur    []model.State
+	next   []model.State
+}
+
+// NewBuffers returns an empty buffer set, sized lazily on first use.
+func NewBuffers() *Buffers { return &Buffers{} }
+
+// ensure sizes the buffers for n agents.
+func (b *Buffers) ensure(n int) {
+	if cap(b.outbox) < n {
+		b.outbox = make([][]model.Message, n)
+	}
+	b.outbox = b.outbox[:n]
+	if cap(b.inbox) < n {
+		b.inbox = make([][]model.Message, n)
+	}
+	b.inbox = b.inbox[:n]
+	for j := range b.inbox {
+		if cap(b.inbox[j]) < n {
+			b.inbox[j] = make([]model.Message, n)
+		}
+		b.inbox[j] = b.inbox[j][:n]
+	}
+	if cap(b.cur) < n {
+		b.cur = make([]model.State, n)
+	}
+	b.cur = b.cur[:n]
+	if cap(b.next) < n {
+		b.next = make([]model.State, n)
+	}
+	b.next = b.next[:n]
+}
+
 // Run executes the configuration and returns the completed run.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunBuffered(cfg, nil) }
+
+// RunBuffered is Run with caller-provided scratch buffers; buf may be nil,
+// in which case scratch is allocated per round as Run does. The returned
+// Result never aliases buf, so the same buffers can be reused for the
+// next run while earlier results stay live.
+func RunBuffered(cfg Config, buf *Buffers) (*Result, error) {
 	ex, act, pat := cfg.Exchange, cfg.Action, cfg.Pattern
 	if ex == nil || act == nil || pat == nil {
 		return nil, errors.New("engine: Exchange, Action, and Pattern are all required")
@@ -114,14 +164,21 @@ func Run(cfg Config) (*Result, error) {
 		res.Decision[i] = model.None
 	}
 
-	cur := make([]model.State, n)
+	var cur, next []model.State
+	if buf != nil {
+		buf.ensure(n)
+		cur, next = buf.cur, buf.next
+	} else {
+		cur = make([]model.State, n)
+	}
 	for i := 0; i < n; i++ {
 		cur[i] = ex.Initial(model.AgentID(i), cfg.Inits[i])
 	}
 	res.States[0] = append([]model.State(nil), cur...)
 
 	for m := 0; m < horizon; m++ {
-		// Every agent chooses its action from its time-m state.
+		// Every agent chooses its action from its time-m state. The acts
+		// slice is recorded in the trace, so it is allocated fresh.
 		acts := make([]model.Action, n)
 		for i := 0; i < n; i++ {
 			acts[i] = act.Act(model.AgentID(i), cur[i])
@@ -132,7 +189,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Actions[m] = acts
 
-		next, stats, err := Step(ex, pat, m, cur, acts)
+		if buf == nil {
+			next = make([]model.State, n)
+		}
+		stats, err := stepInto(ex, pat, m, cur, acts, next, buf)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +200,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Stats.MessagesDelivered += stats.MessagesDelivered
 		res.Stats.BitsSent += stats.BitsSent
 		res.Stats.BitsDelivered += stats.BitsDelivered
-		cur = next
+		cur, next = next, cur
 		res.States[m+1] = append([]model.State(nil), cur...)
 	}
 	return res, nil
@@ -152,13 +212,38 @@ func Run(cfg Config) (*Result, error) {
 // of Run and of the knowledge-based-program builder in internal/episteme,
 // which must choose actions by evaluating knowledge tests between rounds.
 func Step(ex model.Exchange, pat *model.Pattern, m int, states []model.State, acts []model.Action) ([]model.State, Stats, error) {
+	next := make([]model.State, ex.N())
+	stats, err := stepInto(ex, pat, m, states, acts, next, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	return next, stats, nil
+}
+
+// stepInto is Step writing the time-m+1 states into next, drawing the
+// outbox and inbox matrices from buf when one is provided. The exchanges
+// are contracted not to retain the inbox slice they receive (they copy
+// what they need into the fresh state), which is what makes inbox reuse
+// across rounds and runs sound.
+func stepInto(ex model.Exchange, pat *model.Pattern, m int, states []model.State, acts []model.Action,
+	next []model.State, buf *Buffers) (Stats, error) {
+
 	n := ex.N()
 	var stats Stats
-	outbox := make([][]model.Message, n)
+	var outbox, inbox [][]model.Message
+	if buf != nil {
+		outbox, inbox = buf.outbox, buf.inbox
+	} else {
+		outbox = make([][]model.Message, n)
+		inbox = make([][]model.Message, n)
+		for j := range inbox {
+			inbox[j] = make([]model.Message, n)
+		}
+	}
 	for i := 0; i < n; i++ {
 		outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
 		if len(outbox[i]) != n {
-			return nil, stats, fmt.Errorf("engine: %s.Messages returned %d entries for %d agents",
+			return stats, fmt.Errorf("engine: %s.Messages returned %d entries for %d agents",
 				ex.Name(), len(outbox[i]), n)
 		}
 		for _, msg := range outbox[i] {
@@ -169,9 +254,7 @@ func Step(ex model.Exchange, pat *model.Pattern, m int, states []model.State, ac
 		}
 	}
 
-	inbox := make([][]model.Message, n)
 	for j := 0; j < n; j++ {
-		inbox[j] = make([]model.Message, n)
 		for i := 0; i < n; i++ {
 			msg := outbox[i][j]
 			if msg != nil && !pat.Delivered(m, model.AgentID(i), model.AgentID(j)) {
@@ -185,16 +268,41 @@ func Step(ex model.Exchange, pat *model.Pattern, m int, states []model.State, ac
 		}
 	}
 
-	next := make([]model.State, n)
 	for i := 0; i < n; i++ {
 		next[i] = ex.Update(model.AgentID(i), states[i], acts[i], inbox[i])
 		if got := next[i].Time(); got != m+1 {
-			return nil, stats, fmt.Errorf("engine: %s.Update produced time %d at time %d",
+			return stats, fmt.Errorf("engine: %s.Update produced time %d at time %d",
 				ex.Name(), got, m+1)
 		}
 	}
-	return next, stats, nil
+	return stats, nil
 }
+
+// Executor abstracts how a configured execution is driven to completion:
+// Sequential runs the deterministic single-threaded engine, and
+// internal/runtime's Concurrent runs one goroutine per agent. Both
+// produce byte-identical Results for the same configuration, so callers
+// (the core Runner, the CLIs) choose an executor for its operational
+// profile, never for its semantics.
+type Executor interface {
+	// Name identifies the executor ("sequential", "concurrent").
+	Name() string
+	// Execute runs one configuration to completion. Executors that do not
+	// support scratch reuse ignore buf.
+	Execute(cfg Config, buf *Buffers) (*Result, error)
+}
+
+// Sequential is the deterministic single-threaded executor: Execute is
+// RunBuffered.
+type Sequential struct{}
+
+// Name returns "sequential".
+func (Sequential) Name() string { return "sequential" }
+
+// Execute runs the configuration on the sequential engine.
+func (Sequential) Execute(cfg Config, buf *Buffers) (*Result, error) { return RunBuffered(cfg, buf) }
+
+var _ Executor = Sequential{}
 
 // MustRun is Run for call sites where a configuration error is a bug.
 func MustRun(cfg Config) *Result {

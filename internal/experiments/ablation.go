@@ -24,7 +24,7 @@ func E15CommonKnowledgeAblation() *Table {
 		ID:      "E15",
 		Title:   "ablation: P_opt with vs without the common-knowledge guards",
 		Claim:   "the CK guards of P1 fire exactly when all t faults are revealed (Example 7.1 boundary)",
-		Columns: []string{"n", "t", "k silent", "Pmin", "Pbasic", "Pfip no-CK", "Pfip", "CK gain"},
+		Columns: []string{"n", "t", "k silent", "Pmin", "Efip+Pmin", "Pbasic", "Pfip no-CK", "Pfip", "CK gain"},
 		Pass:    true,
 	}
 	n, tf := 8, 3
@@ -36,34 +36,38 @@ func E15CommonKnowledgeAblation() *Table {
 		}
 		pat := adversary.Silent(n, tf+2, agents...)
 
-		rMin := mustRun(core.Min(n, tf), pat, inits).MaxDecisionRound(true)
-		rBasic := mustRun(core.Basic(n, tf), pat, inits).MaxDecisionRound(true)
-		rNoCK := mustRun(core.FIPNoCK(n, tf), pat, inits).MaxDecisionRound(true)
-		rFip := mustRun(core.FIP(n, tf), pat, inits).MaxDecisionRound(true)
+		rMin := mustRun(core.MustStack("min", core.WithN(n), core.WithT(tf)), pat, inits).MaxDecisionRound(true)
+		rFipMin := mustRun(core.MustStack("fip+pmin", core.WithN(n), core.WithT(tf)), pat, inits).MaxDecisionRound(true)
+		rBasic := mustRun(core.MustStack("basic", core.WithN(n), core.WithT(tf)), pat, inits).MaxDecisionRound(true)
+		rNoCK := mustRun(core.MustStack("fip-nock", core.WithN(n), core.WithT(tf)), pat, inits).MaxDecisionRound(true)
+		rFip := mustRun(core.MustStack("fip", core.WithN(n), core.WithT(tf)), pat, inits).MaxDecisionRound(true)
 
-		// Expected shapes: Pmin waits for t+2; Pbasic and the ablated FIP
-		// protocol decide in round k+2 (the hidden-chain bound); full
+		// Expected shapes: Pmin waits for t+2 — and still does when handed
+		// the full-information exchange (fip+pmin): the action protocol,
+		// not the exchange, sets the decision time. Pbasic and the ablated
+		// FIP protocol decide in round k+2 (the hidden-chain bound); full
 		// P_opt additionally collapses the k = t case to round 3.
 		wantNoCK := k + 2
 		wantFip := k + 2
 		if k == tf && tf >= 2 {
 			wantFip = 3
 		}
-		if rMin != tf+2 || rBasic != k+2 || rNoCK != wantNoCK || rFip != wantFip {
+		if rMin != tf+2 || rFipMin != tf+2 || rBasic != k+2 || rNoCK != wantNoCK || rFip != wantFip {
 			t.Pass = false
 		}
 		gain := rNoCK - rFip
-		t.AddRow(n, tf, k, rMin, rBasic, rNoCK, rFip, gain)
+		t.AddRow(n, tf, k, rMin, rFipMin, rBasic, rNoCK, rFip, gain)
 	}
 	t.Notes = append(t.Notes,
-		"without the CK guards the full-information protocol degenerates to Pbasic's decision times on this family")
+		"without the CK guards the full-information protocol degenerates to Pbasic's decision times on this family",
+		"Efip+Pmin (registry stack fip+pmin) pays full-information bits but keeps Pmin's t+2 decisions")
 	return t
 }
 
 // E16DropProbabilitySweep is the figure-like series: mean final decision
 // round of the nonfaulty agents as a function of the adversary's drop
 // probability, for the three stacks.
-func E16DropProbabilitySweep(seed int64, trials int) *Table {
+func E16DropProbabilitySweep(seed int64, trials, parallelism int) *Table {
 	t := &Table{
 		ID:      "E16",
 		Title:   fmt.Sprintf("decision rounds vs drop probability (%d trials/point)", trials),
@@ -74,16 +78,24 @@ func E16DropProbabilitySweep(seed int64, trials int) *Table {
 	n, tf := 6, 2
 	rng := rand.New(rand.NewSource(seed))
 	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		var sumMin, sumBasic, sumFip int
-		for trial := 0; trial < trials; trial++ {
+		scenarios := make([]core.Scenario, trials)
+		for trial := range scenarios {
 			pat := adversary.RandomSO(rng, n, tf, tf+2, p)
 			inits := make([]model.Value, n)
 			for i := range inits {
 				inits[i] = model.Value(rng.Intn(2))
 			}
-			sumMin += mustRun(core.Min(n, tf), pat, inits).MaxDecisionRound(true)
-			sumBasic += mustRun(core.Basic(n, tf), pat, inits).MaxDecisionRound(true)
-			sumFip += mustRun(core.FIP(n, tf), pat, inits).MaxDecisionRound(true)
+			scenarios[trial] = core.Scenario{Pattern: pat, Inits: inits}
+		}
+		var sumMin, sumBasic, sumFip int
+		for _, res := range mustRunBatch(core.MustStack("min", core.WithN(n), core.WithT(tf)), scenarios, parallelism) {
+			sumMin += res.MaxDecisionRound(true)
+		}
+		for _, res := range mustRunBatch(core.MustStack("basic", core.WithN(n), core.WithT(tf)), scenarios, parallelism) {
+			sumBasic += res.MaxDecisionRound(true)
+		}
+		for _, res := range mustRunBatch(core.MustStack("fip", core.WithN(n), core.WithT(tf)), scenarios, parallelism) {
+			sumFip += res.MaxDecisionRound(true)
 		}
 		mMin := float64(sumMin) / float64(trials)
 		mBasic := float64(sumBasic) / float64(trials)

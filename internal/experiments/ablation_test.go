@@ -9,7 +9,7 @@ func TestE15Ablation(t *testing.T) {
 }
 
 func TestE16Sweep(t *testing.T) {
-	if tb := E16DropProbabilitySweep(7, 30); !tb.Pass {
+	if tb := E16DropProbabilitySweep(7, 30, 2); !tb.Pass {
 		t.Fatalf("E16 failed:\n%s", tb.Render())
 	}
 }

@@ -6,6 +6,10 @@ type Config struct {
 	Seed int64
 	// Trials is the number of random runs per randomized experiment.
 	Trials int
+	// Parallelism is the batch worker count for the scenario sweeps
+	// (0 = one worker per CPU). It never changes the numbers: batches are
+	// deterministic and order-preserving.
+	Parallelism int
 	// SkipSlow skips the exhaustive model-checking experiments (E6–E10,
 	// E14), which take tens of seconds.
 	SkipSlow bool
@@ -22,7 +26,7 @@ func Generators(cfg Config) []func() *Table {
 		E2FailureFreeZero,
 		E3FailureFreeOnes,
 		E4Example71,
-		func() *Table { return E5TerminationBound(cfg.Seed, cfg.Trials) },
+		func() *Table { return E5TerminationBound(cfg.Seed, cfg.Trials, cfg.Parallelism) },
 	}
 	if !cfg.SkipSlow {
 		gens = append(gens,
@@ -35,7 +39,7 @@ func Generators(cfg Config) []func() *Table {
 	}
 	gens = append(gens,
 		E11BasicVsMin,
-		func() *Table { return E12BasicVsFip(cfg.Seed, cfg.Trials) },
+		func() *Table { return E12BasicVsFip(cfg.Seed, cfg.Trials, cfg.Parallelism) },
 		E13CrashVsOmission,
 	)
 	if !cfg.SkipSlow {
@@ -43,7 +47,7 @@ func Generators(cfg Config) []func() *Table {
 	}
 	gens = append(gens,
 		E15CommonKnowledgeAblation,
-		func() *Table { return E16DropProbabilitySweep(cfg.Seed, cfg.Trials/4+1) },
+		func() *Table { return E16DropProbabilitySweep(cfg.Seed, cfg.Trials/4+1, cfg.Parallelism) },
 	)
 	if !cfg.SkipSlow {
 		gens = append(gens, E17ExhaustiveSpec)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -11,14 +12,30 @@ import (
 	"repro/internal/spec"
 )
 
-// mustRun executes a stack, panicking on configuration errors (which are
-// bugs in the experiment definitions, not data).
+// mustRun executes a stack on one scenario through the Runner, panicking
+// on configuration errors (which are bugs in the experiment definitions,
+// not data).
 func mustRun(st core.Stack, pat *model.Pattern, inits []model.Value) *engine.Result {
-	res, err := st.Run(pat, inits)
+	res, err := core.NewRunner(st).Run(context.Background(), core.Scenario{Pattern: pat, Inits: inits})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", st.Name, err))
 	}
 	return res
+}
+
+// mustRunBatch executes a stack on a scenario list through the batch
+// Runner — parallel across `parallelism` workers (0 = one per CPU), with
+// per-worker buffer reuse, order-preserving so results correspond to
+// scenarios index by index.
+func mustRunBatch(st core.Stack, scenarios []core.Scenario, parallelism int) []*engine.Result {
+	results, err := core.NewRunner(st,
+		core.WithParallelism(parallelism),
+		core.WithBufferReuse(),
+	).RunBatch(context.Background(), scenarios)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", st.Name, err))
+	}
+	return results
 }
 
 // fipExactBits is the closed-form bit count of a t+2-round run of the
@@ -182,7 +199,7 @@ func E4Example71() *Table {
 // adversaries: every agent decides by round t+2 with no specification
 // violations, and the decision-round distribution is reported (the
 // figure-like series).
-func E5TerminationBound(seed int64, trials int) *Table {
+func E5TerminationBound(seed int64, trials, parallelism int) *Table {
 	t := &Table{
 		ID:      "E5",
 		Title:   fmt.Sprintf("termination bound under random SO(t) adversaries (%d trials)", trials),
@@ -192,17 +209,21 @@ func E5TerminationBound(seed int64, trials int) *Table {
 	}
 	n, tf := 6, 2
 	rng := rand.New(rand.NewSource(seed))
-	for _, st := range []core.Stack{core.Min(n, tf), core.Basic(n, tf), core.FIP(n, tf)} {
-		hist := make([]int, tf+3)
-		violations := 0
-		maxRound := 0
-		for trial := 0; trial < trials; trial++ {
+	for _, name := range []string{"min", "basic", "fip"} {
+		st := core.MustStack(name, core.WithN(n), core.WithT(tf))
+		scenarios := make([]core.Scenario, trials)
+		for trial := range scenarios {
 			pat := adversary.RandomSO(rng, n, tf, tf+2, 0.45)
 			inits := make([]model.Value, n)
 			for i := range inits {
 				inits[i] = model.Value(rng.Intn(2))
 			}
-			res := mustRun(st, pat, inits)
+			scenarios[trial] = core.Scenario{Pattern: pat, Inits: inits}
+		}
+		hist := make([]int, tf+3)
+		violations := 0
+		maxRound := 0
+		for _, res := range mustRunBatch(st, scenarios, parallelism) {
 			violations += len(spec.CheckRun(res, spec.Options{RoundBound: tf + 2, ValidityAllAgents: true}))
 			for i := 0; i < n; i++ {
 				r := res.Round(model.AgentID(i))

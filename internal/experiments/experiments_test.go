@@ -56,7 +56,7 @@ func TestE4Example71(t *testing.T) {
 }
 
 func TestE5TerminationBound(t *testing.T) {
-	if tb := E5TerminationBound(7, 60); !tb.Pass {
+	if tb := E5TerminationBound(7, 60, 2); !tb.Pass {
 		t.Fatalf("E5 failed:\n%s", tb.Render())
 	}
 }
@@ -68,7 +68,7 @@ func TestE11BasicVsMin(t *testing.T) {
 }
 
 func TestE12BasicVsFip(t *testing.T) {
-	if tb := E12BasicVsFip(7, 40); !tb.Pass {
+	if tb := E12BasicVsFip(7, 40, 2); !tb.Pass {
 		t.Fatalf("E12 failed:\n%s", tb.Render())
 	}
 }

@@ -49,7 +49,7 @@ func E11BasicVsMin() *Table {
 // protocol. It measures the distribution of the per-run gap between the
 // two protocols' final nonfaulty decision rounds under random omission
 // adversaries.
-func E12BasicVsFip(seed int64, trials int) *Table {
+func E12BasicVsFip(seed int64, trials, parallelism int) *Table {
 	t := &Table{
 		ID:      "E12",
 		Title:   fmt.Sprintf("decision-round gap Pbasic − Pfip under random failures (%d trials)", trials),
@@ -59,17 +59,25 @@ func E12BasicVsFip(seed int64, trials int) *Table {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for _, c := range []struct{ n, tf int }{{5, 2}, {7, 3}} {
-		gapHist := make([]int, 4)
-		fipLater := 0
-		sumBasic, sumFip := 0, 0
-		for trial := 0; trial < trials; trial++ {
+		scenarios := make([]core.Scenario, trials)
+		for trial := range scenarios {
 			pat := adversary.RandomSO(rng, c.n, c.tf, c.tf+2, 0.5)
 			inits := make([]model.Value, c.n)
 			for i := range inits {
 				inits[i] = model.Value(rng.Intn(2))
 			}
-			rb := mustRun(core.Basic(c.n, c.tf), pat, inits).MaxDecisionRound(true)
-			rf := mustRun(core.FIP(c.n, c.tf), pat, inits).MaxDecisionRound(true)
+			scenarios[trial] = core.Scenario{Pattern: pat, Inits: inits}
+		}
+		// The two batches share the scenario list index by index — the
+		// run-by-run correspondence the gap is defined over.
+		basicRuns := mustRunBatch(core.MustStack("basic", core.WithN(c.n), core.WithT(c.tf)), scenarios, parallelism)
+		fipRuns := mustRunBatch(core.MustStack("fip", core.WithN(c.n), core.WithT(c.tf)), scenarios, parallelism)
+		gapHist := make([]int, 4)
+		fipLater := 0
+		sumBasic, sumFip := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			rb := basicRuns[trial].MaxDecisionRound(true)
+			rf := fipRuns[trial].MaxDecisionRound(true)
 			sumBasic += rb
 			sumFip += rf
 			gap := rb - rf

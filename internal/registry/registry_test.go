@@ -1,0 +1,129 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinsResolve checks that every registered stack resolves to
+// constructible, mutually compatible components.
+func TestBuiltinsResolve(t *testing.T) {
+	names := StackNames()
+	want := []string{"basic", "fip", "fip+pmin", "fip-nock", "min", "naive"}
+	if len(names) != len(want) {
+		t.Fatalf("StackNames() = %v, want %v", names, want)
+	}
+	for i, name := range want {
+		if names[i] != name {
+			t.Fatalf("StackNames() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		info, err := Stack(name)
+		if err != nil {
+			t.Fatalf("Stack(%q): %v", name, err)
+		}
+		ex, act, err := Compose(info.Exchange, info.Action, 4, 1)
+		if err != nil {
+			t.Fatalf("Compose(%q, %q): %v", info.Exchange, info.Action, err)
+		}
+		if ex.N() != 4 {
+			t.Errorf("stack %q: exchange built for %d agents, want 4", name, ex.N())
+		}
+		if act.Name() == "" || info.Description == "" {
+			t.Errorf("stack %q: missing action name or description", name)
+		}
+	}
+}
+
+func TestExchangeAndActionNames(t *testing.T) {
+	ex := ExchangeNames()
+	wantEx := []string{"basic", "fip", "min", "report"}
+	if strings.Join(ex, ",") != strings.Join(wantEx, ",") {
+		t.Errorf("ExchangeNames() = %v, want %v", ex, wantEx)
+	}
+	act := ActionNames()
+	wantAct := []string{"pbasic", "pmin", "pnaive", "popt", "popt-nock"}
+	if strings.Join(act, ",") != strings.Join(wantAct, ",") {
+		t.Errorf("ActionNames() = %v, want %v", act, wantAct)
+	}
+}
+
+func TestComposeRejectsIncompatiblePairings(t *testing.T) {
+	// Pbasic needs the #1 counter of Ebasic states; Popt needs Efip
+	// graphs; Pnaive needs the Ereport heard0 latch.
+	bad := [][2]string{
+		{"min", "pbasic"},
+		{"min", "popt"},
+		{"basic", "popt-nock"},
+		{"fip", "pnaive"},
+		{"report", "pbasic"},
+	}
+	for _, pair := range bad {
+		if _, _, err := Compose(pair[0], pair[1], 4, 1); err == nil {
+			t.Errorf("Compose(%q, %q) accepted an incompatible pairing", pair[0], pair[1])
+		}
+	}
+	// Pmin reads only guaranteed components: every exchange accepts it.
+	for _, exName := range ExchangeNames() {
+		if _, _, err := Compose(exName, "pmin", 4, 1); err != nil {
+			t.Errorf("Compose(%q, \"pmin\"): %v", exName, err)
+		}
+	}
+}
+
+func TestUnknownNamesListAlternatives(t *testing.T) {
+	if _, err := Stack("bogus"); err == nil || !strings.Contains(err.Error(), "fip+pmin") {
+		t.Errorf("Stack(bogus) error should list known names, got %v", err)
+	}
+	if _, err := Exchange("bogus"); err == nil || !strings.Contains(err.Error(), "report") {
+		t.Errorf("Exchange(bogus) error should list known names, got %v", err)
+	}
+	if _, err := Action("bogus"); err == nil || !strings.Contains(err.Error(), "popt-nock") {
+		t.Errorf("Action(bogus) error should list known names, got %v", err)
+	}
+	if _, _, err := Compose("bogus", "pmin", 3, 1); err == nil {
+		t.Error("Compose with unknown exchange accepted")
+	}
+	if _, _, err := Compose("min", "bogus", 3, 1); err == nil {
+		t.Error("Compose with unknown action accepted")
+	}
+}
+
+func TestStackForCanonicalName(t *testing.T) {
+	info, ok := StackFor("fip", "pmin")
+	if !ok || info.Name != "fip+pmin" {
+		t.Errorf("StackFor(fip, pmin) = %+v, %v; want the fip+pmin stack", info, ok)
+	}
+	if _, ok := StackFor("basic", "pmin"); ok {
+		t.Error("StackFor(basic, pmin) found a stack; the pairing is ad-hoc")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate exchange registration did not panic")
+		}
+	}()
+	RegisterExchange(ExchangeInfo{Name: "min", New: exchanges["min"].New})
+}
+
+func TestInvalidRegistrationPanics(t *testing.T) {
+	cases := []func(){
+		func() { RegisterExchange(ExchangeInfo{Name: "nameless"}) },
+		func() { RegisterAction(ActionInfo{Name: "nameless"}) },
+		func() { RegisterStack(StackInfo{Name: "dangling", Exchange: "bogus", Action: "pmin"}) },
+		func() { RegisterStack(StackInfo{Name: "illtyped", Exchange: "min", Action: "popt"}) },
+	}
+	for i, reg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid registration did not panic", i)
+				}
+			}()
+			reg()
+		}()
+	}
+}

@@ -15,6 +15,21 @@ import (
 	"repro/internal/model"
 )
 
+// Concurrent is the goroutine-per-agent engine.Executor: Execute is Run.
+// It ignores the scratch buffers (each agent owns its state, so there is
+// no shared per-round scratch to reuse).
+type Concurrent struct{}
+
+// Name returns "concurrent".
+func (Concurrent) Name() string { return "concurrent" }
+
+// Execute runs the configuration on the concurrent runtime.
+func (Concurrent) Execute(cfg engine.Config, _ *engine.Buffers) (*engine.Result, error) {
+	return Run(cfg)
+}
+
+var _ engine.Executor = Concurrent{}
+
 // agentReport is what an agent hands the router each round: the action it
 // performed and the messages it wants sent.
 type agentReport struct {

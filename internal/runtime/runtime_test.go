@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exchange"
 	"repro/internal/model"
+	"repro/internal/registry"
 )
 
 // assertSameResult compares the concurrent result against the sequential
@@ -42,27 +43,27 @@ func assertSameResult(t *testing.T, seq, conc *engine.Result) {
 }
 
 func TestConcurrentMatchesSequentialAllStacks(t *testing.T) {
+	// Stacks are enumerated through the registry, so every registered
+	// pairing — including fip+pmin and fip-nock — is covered without this
+	// test having to list names.
 	rng := rand.New(rand.NewSource(99))
 	n, tf := 5, 2
-	type stack struct {
-		name string
-		ex   model.Exchange
-		act  model.ActionProtocol
-	}
-	stacks := []stack{
-		{"min", exchange.NewMin(n), action.NewMin(tf)},
-		{"basic", exchange.NewBasic(n), action.NewBasic(n)},
-		{"fip", exchange.NewFIP(n), action.NewOpt(tf)},
-		{"report", exchange.NewReport(n), action.NewNaive(tf)},
-	}
-	for _, st := range stacks {
+	for _, name := range registry.StackNames() {
+		info, err := registry.Stack(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, act, err := registry.Compose(info.Exchange, info.Action, n, tf)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for trial := 0; trial < 25; trial++ {
 			pat := adversary.RandomSO(rng, n, tf, tf+2, 0.4)
 			inits := make([]model.Value, n)
 			for i := range inits {
 				inits[i] = model.Value(rng.Intn(2))
 			}
-			cfg := engine.Config{Exchange: st.ex, Action: st.act, Pattern: pat, Inits: inits}
+			cfg := engine.Config{Exchange: ex, Action: act, Pattern: pat, Inits: inits}
 			seq, err := engine.Run(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -72,6 +73,50 @@ func TestConcurrentMatchesSequentialAllStacks(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertSameResult(t, seq, conc)
+		}
+	}
+}
+
+// TestExecutorInterfaceMatches drives both executors through the
+// engine.Executor interface — the path the core Runner uses — with and
+// without reusable buffers, and requires byte-identical traces.
+func TestExecutorInterfaceMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, tf := 5, 2
+	executors := []engine.Executor{engine.Sequential{}, Concurrent{}}
+	if executors[0].Name() != "sequential" || executors[1].Name() != "concurrent" {
+		t.Fatalf("executor names: %q, %q", executors[0].Name(), executors[1].Name())
+	}
+	buf := engine.NewBuffers()
+	for _, name := range registry.StackNames() {
+		info, err := registry.Stack(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, act, err := registry.Compose(info.Exchange, info.Action, n, tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			pat := adversary.RandomSO(rng, n, tf, tf+2, 0.4)
+			inits := make([]model.Value, n)
+			for i := range inits {
+				inits[i] = model.Value(rng.Intn(2))
+			}
+			cfg := engine.Config{Exchange: ex, Action: act, Pattern: pat, Inits: inits}
+			want, err := executors[0].Execute(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Buffered sequential and (buffer-ignoring) concurrent runs
+			// must reproduce the unbuffered trace exactly.
+			for _, x := range executors {
+				got, err := x.Execute(cfg, buf)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", x.Name(), name, err)
+				}
+				assertSameResult(t, want, got)
+			}
 		}
 	}
 }

@@ -12,10 +12,18 @@
 //	ebacheck -stack basic -n 3 -t 1 -safety  # + Definition 6.2
 //	ebacheck -stack fip-nock -n 3 -t 1       # the ablation implements P0
 //
+// With -sweep it additionally streams the exhaustive SO(t) scenario sweep
+// (every failure pattern × every initial vector) through the Runner's
+// source-driven path and spec-checks every run — the brute-force
+// Proposition 6.1 counterpart of the knowledge checks, at bounded memory
+// however large the sweep. -knowledge=false skips the knowledge checks,
+// so `-sweep -knowledge=false` is a fast streaming smoke test.
+//
 // Everything is exhaustive: expect exponential cost beyond n=4, t=1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +64,8 @@ func run(args []string) error {
 		t          = fs.Int("t", 1, "failure bound t")
 		safety     = fs.Bool("safety", false, "also check the Definition 6.2 safety condition")
 		optimality = fs.Bool("optimality", true, "for -stack fip: check the Theorem 7.5 characterization")
+		sweep      = fs.Bool("sweep", false, "stream the exhaustive SO(t) scenario sweep through the Runner and spec-check every run")
+		knowledge  = fs.Bool("knowledge", true, "run the knowledge-theoretic checks (implements/safety/optimality)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +89,19 @@ func run(args []string) error {
 	prog := eba.ProgramP0
 	if info.Program == "P1" {
 		prog = eba.ProgramP1
+	}
+
+	if !*sweep && !*knowledge {
+		return fmt.Errorf("nothing to check: -knowledge=false without -sweep selects no checks")
+	}
+	if *sweep {
+		if err := runSweep(stack, *n, *t); err != nil {
+			return err
+		}
+	}
+	if !*knowledge {
+		fmt.Println("\nall checks passed")
+		return nil
 	}
 
 	fmt.Printf("building exhaustive system for %s (n=%d, t=%d, horizon=%d)...\n",
@@ -137,5 +160,43 @@ func run(args []string) error {
 		}
 	}
 	fmt.Println("\nall checks passed")
+	return nil
+}
+
+// runSweep streams the exhaustive SO(t) sweep — every failure pattern ×
+// every initial vector — through the Runner's source-driven path with
+// specification checking on, never materializing the scenario list.
+func runSweep(stack eba.Stack, n, t int) error {
+	src, err := eba.SourceSO(n, t, stack.Horizon())
+	if err != nil {
+		return err
+	}
+	total := "?"
+	if c, ok := src.Count(); ok {
+		total = fmt.Sprint(c)
+	}
+	fmt.Printf("streaming exhaustive SO(%d) spec sweep for %s (n=%d, horizon=%d, %s scenarios) ... ",
+		t, stack.Name, n, stack.Horizon(), total)
+	t0 := time.Now()
+	runner := eba.NewRunner(stack,
+		eba.WithParallelism(0),
+		eba.WithBufferReuse(),
+		eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}))
+	runs, failures := 0, 0
+	var firstErr error
+	for oc := range runner.StreamFrom(context.Background(), src) {
+		runs++
+		if oc.Err != nil {
+			failures++
+			if firstErr == nil {
+				firstErr = oc.Err
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("FAILED (%.2fs)\n", time.Since(t0).Seconds())
+		return fmt.Errorf("sweep: %d of %d runs failed the EBA specification (first: %v)", failures, runs, firstErr)
+	}
+	fmt.Printf("OK: %d runs (%.2fs)\n", runs, time.Since(t0).Seconds())
 	return nil
 }

@@ -22,6 +22,14 @@ func TestCheckFIPEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCheckSweepStreaming exercises the source-driven exhaustive sweep —
+// the path the CI smoke step runs — without the slower knowledge checks.
+func TestCheckSweepStreaming(t *testing.T) {
+	if err := run([]string{"-stack", "min", "-n", "3", "-t", "1", "-sweep", "-knowledge=false"}); err != nil {
+		t.Errorf("ebacheck -sweep failed: %v", err)
+	}
+}
+
 func TestCheckErrors(t *testing.T) {
 	if err := run([]string{"-stack", "bogus"}); err == nil {
 		t.Error("unknown stack accepted")

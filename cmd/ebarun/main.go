@@ -10,6 +10,15 @@
 //	ebarun -stack fip+pmin -n 5 -t 2 -adversary silent:0 -inits all1
 //	ebarun -stack basic+pmin -n 5 -t 2 -inits 01101   # ad-hoc composition
 //	ebarun -stack basic -n 4 -t 1 -executor concurrent
+//
+// With -sweep N the command streams N seeded random scenarios (drop
+// probability from -drop, seed from -seed) through the Runner's
+// source-driven path instead of executing one configuration, and prints
+// the decision-round distribution; -order completion emits outcomes as
+// workers finish them instead of in scenario order:
+//
+//	ebarun -stack fip -n 6 -t 2 -sweep 10000 -drop 0.4
+//	ebarun -stack basic -n 8 -t 3 -sweep 100000 -order completion
 package main
 
 import (
@@ -44,6 +53,8 @@ func run(args []string) error {
 		execName   = fs.String("executor", "sequential", "execution substrate: sequential or concurrent")
 		concurrent = fs.Bool("concurrent", false, "deprecated alias for -executor concurrent")
 		format     = fs.String("format", "summary", "output: summary, trace (message-level), or json")
+		sweepN     = fs.Int64("sweep", 0, "stream this many seeded random scenarios through the Runner instead of one configured run")
+		order      = fs.String("order", "ordered", "sweep emission order: ordered (scenario order) or completion (as workers finish)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,15 +70,32 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	executor, err := makeExecutor(*execName, *concurrent, executorSet)
+	if err != nil {
+		return err
+	}
+	if *sweepN > 0 {
+		// The sweep generates its own adversaries and inits and prints
+		// only the aggregate; reject flags it would otherwise silently
+		// drop (the executor is honored).
+		var incompatible []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "adversary", "inits", "format":
+				incompatible = append(incompatible, "-"+f.Name)
+			}
+		})
+		if len(incompatible) > 0 {
+			return fmt.Errorf("%s cannot apply to -sweep (the sweep draws random adversaries and inits and prints a summary)",
+				strings.Join(incompatible, ", "))
+		}
+		return runSweep(stack, executor, *sweepN, *seed, *drop, *order)
+	}
 	pat, err := makeAdversary(*advSpec, *n, *t, stack.Horizon(), *seed, *drop)
 	if err != nil {
 		return err
 	}
 	inits, err := makeInits(*initsSpec, *n)
-	if err != nil {
-		return err
-	}
-	executor, err := makeExecutor(*execName, *concurrent, executorSet)
 	if err != nil {
 		return err
 	}
@@ -139,6 +167,62 @@ func run(args []string) error {
 		fmt.Println("(expected: the naive stack is the paper's counterexample)")
 	} else {
 		fmt.Println("\nEBA specification: satisfied")
+	}
+	return nil
+}
+
+// runSweep streams count seeded random scenarios through the Runner's
+// source-driven path — never materializing them — and prints the
+// distribution of final nonfaulty decision rounds plus any specification
+// violations. With -order completion the outcomes are consumed as workers
+// finish them (the aggregate is order-independent, so the summary is
+// identical either way).
+func runSweep(stack eba.Stack, executor eba.Executor, count, seed int64, drop float64, order string) error {
+	var streamOpts []eba.StreamOption
+	switch order {
+	case "ordered":
+	case "completion":
+		streamOpts = append(streamOpts, eba.WithCompletionOrder())
+	default:
+		return fmt.Errorf("unknown sweep order %q (have ordered, completion)", order)
+	}
+	src := eba.SourceRandomSO(seed, stack.N, stack.T, stack.Horizon(), drop, count)
+	runner := eba.NewRunner(stack,
+		eba.WithExecutor(executor),
+		eba.WithParallelism(0),
+		eba.WithBufferReuse(),
+		eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon()}))
+
+	fmt.Printf("sweep: stack=%s n=%d t=%d horizon=%d executor=%s scenarios=%d drop=%.2f seed=%d order=%s\n\n",
+		stack.Name, stack.N, stack.T, stack.Horizon(), executor.Name(), count, drop, seed, order)
+	hist := make([]int64, stack.Horizon()+1)
+	var runs, violations int64
+	var firstViolation error
+	for oc := range runner.StreamFrom(context.Background(), src, streamOpts...) {
+		runs++
+		if oc.Err != nil {
+			violations++
+			if firstViolation == nil {
+				firstViolation = oc.Err
+			}
+			continue
+		}
+		if r := oc.Result.MaxDecisionRound(true); r >= 0 && r < len(hist) {
+			hist[r]++
+		}
+	}
+	for r, c := range hist {
+		if r == 0 && c == 0 {
+			continue
+		}
+		fmt.Printf("decided by round %2d: %8d run(s)\n", r, c)
+	}
+	fmt.Printf("\n%d runs; EBA specification violations: %d\n", runs, violations)
+	if violations > 0 {
+		if stack.Name != "naive" {
+			return fmt.Errorf("unexpected specification violations (first: %v)", firstViolation)
+		}
+		fmt.Println("(expected: the naive stack is the paper's counterexample)")
 	}
 	return nil
 }

@@ -14,9 +14,11 @@ type Options struct {
 	// the default excludes them to keep the state space small.
 	IncludeSelfDrops bool
 
-	// MaxPatterns aborts enumeration (with a panic) if more than this many
-	// patterns would be produced; 0 means no limit. It guards against
-	// accidentally launching an infeasible exhaustive check.
+	// MaxPatterns rejects enumeration if more than this many patterns
+	// would be produced; 0 means no limit. It guards against accidentally
+	// launching an infeasible exhaustive check. NewSOPatterns reports the
+	// rejection as an error; the deprecated EnumerateSO wrapper turns it
+	// into a panic.
 	MaxPatterns int64
 }
 
@@ -42,8 +44,8 @@ func slotsFor(n, horizon int, faulty []model.AgentID, includeSelf bool) []slot {
 	return out
 }
 
-// CountSO returns the number of patterns EnumerateSO will produce, or an
-// error if the count overflows int64.
+// CountSO returns the number of patterns SO(t) enumeration will produce,
+// or an error if the count overflows int64.
 func CountSO(n, t, horizon int, opts Options) (int64, error) {
 	total := int64(0)
 	for _, faulty := range subsetsUpTo(n, t) {
@@ -64,51 +66,291 @@ func CountSO(n, t, horizon int, opts Options) (int64, error) {
 	return total, nil
 }
 
+// SOPatterns enumerates every failure pattern in SO(t) lazily, pull-style:
+// every faulty set of size at most t (including faulty agents that drop
+// nothing) combined with every subset of droppable messages, in a fixed
+// deterministic order (faulty sets by size then lexicographically, drop
+// masks in increasing binary order). Construct with NewSOPatterns.
+//
+// The iterator owns one pattern per faulty set and mutates it in place
+// between Next calls (consecutive drop masks differ in O(1) amortized
+// bits), so a full sweep allocates O(#faulty-sets) patterns instead of one
+// clone per pattern. Callers that retain a pattern must Clone it.
+type SOPatterns struct {
+	n, horizon  int
+	includeSelf bool
+	subsets     [][]model.AgentID
+	si          int // index of the subset currently being swept
+	slots       []slot
+	mask        uint64 // drop mask currently applied to p
+	total       uint64 // 2^len(slots)
+	p           *model.Pattern
+	count       int64
+	hasCount    bool
+}
+
+// NewSOPatterns validates the enumeration bounds and returns the iterator.
+// It fails (instead of panicking, as the deprecated EnumerateSO does) when
+// a faulty set would expose 62 or more droppable slots, or when
+// opts.MaxPatterns is positive and the sweep exceeds it.
+func NewSOPatterns(n, t, horizon int, opts Options) (*SOPatterns, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adversary: SO enumeration needs n > 0, got %d", n)
+	}
+	if t < 0 || horizon < 0 {
+		return nil, fmt.Errorf("adversary: SO enumeration needs t >= 0 and horizon >= 0, got t=%d horizon=%d", t, horizon)
+	}
+	subsets := subsetsUpTo(n, t)
+	recips := n - 1
+	if opts.IncludeSelfDrops {
+		recips = n
+	}
+	for _, faulty := range subsets {
+		if bits := horizon * len(faulty) * recips; bits >= 62 {
+			return nil, fmt.Errorf("adversary: %d drop slots cannot be enumerated (faulty set of %d agents)",
+				bits, len(faulty))
+		}
+	}
+	count, err := CountSO(n, t, horizon, opts)
+	if opts.MaxPatterns > 0 {
+		if err != nil {
+			return nil, fmt.Errorf("adversary: enumeration too large (limit %d): %w", opts.MaxPatterns, err)
+		}
+		if count > opts.MaxPatterns {
+			return nil, fmt.Errorf("adversary: enumeration too large (count=%d, limit=%d)", count, opts.MaxPatterns)
+		}
+	}
+	return &SOPatterns{
+		n:           n,
+		horizon:     horizon,
+		includeSelf: opts.IncludeSelfDrops,
+		subsets:     subsets,
+		count:       count,
+		hasCount:    err == nil,
+	}, nil
+}
+
+// Count returns the total number of patterns the full sweep produces, and
+// whether that total is representable in int64.
+func (it *SOPatterns) Count() (int64, bool) { return it.count, it.hasCount }
+
+// Next returns the next pattern, or false when the enumeration is
+// exhausted. The returned pattern is reused by subsequent calls; Clone it
+// if it must be retained.
+func (it *SOPatterns) Next() (*model.Pattern, bool) {
+	for {
+		if it.p == nil {
+			// Open the next faulty set with the empty drop mask.
+			if it.si >= len(it.subsets) {
+				return nil, false
+			}
+			faulty := it.subsets[it.si]
+			it.slots = slotsFor(it.n, it.horizon, faulty, it.includeSelf)
+			it.mask = 0
+			it.total = uint64(1) << len(it.slots)
+			it.p = model.NewPattern(it.n, it.horizon)
+			for _, i := range faulty {
+				it.p.SetFaulty(i)
+			}
+			return it.p, true
+		}
+		next := it.mask + 1
+		if next == it.total {
+			it.si++
+			it.p = nil
+			continue
+		}
+		// Incrementing the mask toggles a run of low bits; applying just
+		// the toggled drops keeps the sweep allocation-free.
+		for b, s := range it.slots {
+			bit := uint64(1) << uint(b)
+			if (it.mask^next)&bit == 0 {
+				continue
+			}
+			if next&bit != 0 {
+				it.p.Drop(s.M, s.From, s.To)
+			} else {
+				it.p.Undrop(s.M, s.From, s.To)
+			}
+		}
+		it.mask = next
+		return it.p, true
+	}
+}
+
 // EnumerateSO calls fn for every failure pattern in SO(t) over n agents and
 // the given horizon: every faulty set of size at most t (including faulty
 // agents that drop nothing) combined with every subset of droppable
 // messages. Enumeration stops early if fn returns false. The pattern passed
-// to fn is reused across calls; clone it if it must be retained.
+// to fn is reused across calls — consecutive patterns are produced by
+// toggling the drops that changed, with no per-pattern allocation — so fn
+// must Clone the pattern if it retains it.
+//
+// EnumerateSO panics when the enumeration bounds are rejected: when a
+// faulty set exposes 62 or more droppable slots, or when opts.MaxPatterns
+// is positive and the sweep would exceed it.
+//
+// Deprecated: use NewSOPatterns, which reports rejected bounds as an error
+// instead of panicking and supports pull-style (streaming) consumption.
 func EnumerateSO(n, t, horizon int, opts Options, fn func(*model.Pattern) bool) {
-	if opts.MaxPatterns > 0 {
-		c, err := CountSO(n, t, horizon, opts)
-		if err != nil || c > opts.MaxPatterns {
-			panic(fmt.Sprintf("adversary: enumeration too large (count=%d, err=%v, limit=%d)",
-				c, err, opts.MaxPatterns))
-		}
+	it, err := NewSOPatterns(n, t, horizon, opts)
+	if err != nil {
+		panic(err.Error())
 	}
-	for _, faulty := range subsetsUpTo(n, t) {
-		slots := slotsFor(n, horizon, faulty, opts.IncludeSelfDrops)
-		if len(slots) >= 62 {
-			panic(fmt.Sprintf("adversary: %d drop slots cannot be enumerated", len(slots)))
-		}
-		p := model.NewPattern(n, horizon)
-		for _, i := range faulty {
-			p.SetFaulty(i)
-		}
-		if !enumerateDrops(p, slots, fn) {
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if !fn(p) {
 			return
 		}
 	}
 }
 
-// enumerateDrops iterates all 2^len(slots) drop subsets on top of the base
-// pattern p (whose faulty set is already fixed). It reports whether
-// enumeration ran to completion.
-func enumerateDrops(p *model.Pattern, slots []slot, fn func(*model.Pattern) bool) bool {
-	total := uint64(1) << len(slots)
-	for mask := uint64(0); mask < total; mask++ {
-		q := p.Clone()
-		for b, s := range slots {
-			if mask&(1<<uint(b)) != 0 {
-				q.Drop(s.M, s.From, s.To)
+// crashNever marks a faulty agent that never observably crashes.
+const crashNever = -1
+
+// CountCrash returns the number of patterns crash(t) enumeration will
+// produce, or an error if the count overflows int64.
+func CountCrash(n, t, horizon int) (int64, error) {
+	// Per faulty agent: a crash time in [0, horizon) with a proper subset
+	// of the n-1 other agents reached, or "never observably crashes".
+	perAgent := int64(horizon)*(int64(1)<<uint(n-1)-1) + 1
+	total := int64(0)
+	for _, faulty := range subsetsUpTo(n, t) {
+		c := int64(1)
+		for range faulty {
+			if perAgent != 0 && c > math.MaxInt64/perAgent {
+				return 0, fmt.Errorf("adversary: crash pattern count overflows int64")
 			}
+			c *= perAgent
 		}
-		if !fn(q) {
-			return false
+		if total > math.MaxInt64-c {
+			return 0, fmt.Errorf("adversary: crash pattern count overflows int64")
 		}
+		total += c
 	}
-	return true
+	return total, nil
+}
+
+// CrashPatterns enumerates every crash(t) pattern lazily, pull-style: for
+// each faulty set, every combination of per-agent crash behaviors — a
+// crash time c in [0, horizon) with a proper subset of the other agents
+// reached in the crash round, or "never observably crashes" — in the same
+// deterministic order as the deprecated EnumerateCrash. Every distinct
+// crash drop-pattern is produced exactly once. Construct with
+// NewCrashPatterns.
+//
+// Unlike SOPatterns, each Next call builds a fresh pattern (crash sweeps
+// are not a measured hot path); it may still be retained only until the
+// iterator is garbage, so Clone when in doubt.
+type CrashPatterns struct {
+	n, horizon int
+	subsets    [][]model.AgentID
+	si         int
+	// choices is the odometer over per-agent behaviors for the current
+	// faulty set; digit k spins fastest for the last agent. Nil means the
+	// odometer for subset si has not started yet.
+	choices  []int64
+	perAgent int64
+	full     uint64 // 2^(n-1) - 1: proper-subset bound on reached masks
+	count    int64
+	hasCount bool
+	done     bool
+}
+
+// NewCrashPatterns validates the enumeration bounds and returns the
+// iterator. It fails when n is too large for the reached-subset masks to
+// fit in 62 bits.
+func NewCrashPatterns(n, t, horizon int) (*CrashPatterns, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adversary: crash enumeration needs n > 0, got %d", n)
+	}
+	if t < 0 || horizon < 0 {
+		return nil, fmt.Errorf("adversary: crash enumeration needs t >= 0 and horizon >= 0, got t=%d horizon=%d", t, horizon)
+	}
+	if n-1 >= 62 {
+		return nil, fmt.Errorf("adversary: %d crash-round recipients cannot be enumerated", n-1)
+	}
+	full := uint64(1)<<uint(n-1) - 1
+	count, err := CountCrash(n, t, horizon)
+	return &CrashPatterns{
+		n:        n,
+		horizon:  horizon,
+		subsets:  subsetsUpTo(n, t),
+		perAgent: int64(horizon)*int64(full) + 1,
+		full:     full,
+		count:    count,
+		hasCount: err == nil,
+	}, nil
+}
+
+// Count returns the total number of patterns the full sweep produces, and
+// whether that total is representable in int64.
+func (it *CrashPatterns) Count() (int64, bool) { return it.count, it.hasCount }
+
+// behavior decodes an odometer digit into (crash time, reached mask);
+// crashNever means the agent never observably crashes.
+func (it *CrashPatterns) behavior(c int64) (at int, reached uint64) {
+	if c == it.perAgent-1 {
+		return crashNever, 0
+	}
+	return int(c / int64(it.full)), uint64(c % int64(it.full))
+}
+
+// Next returns the next pattern, or false when the enumeration is
+// exhausted.
+func (it *CrashPatterns) Next() (*model.Pattern, bool) {
+	for {
+		if it.done {
+			return nil, false
+		}
+		if it.choices == nil {
+			if it.si >= len(it.subsets) {
+				it.done = true
+				return nil, false
+			}
+			it.choices = make([]int64, len(it.subsets[it.si]))
+			return it.build(), true
+		}
+		// Advance the odometer, last agent fastest.
+		k := len(it.choices) - 1
+		for k >= 0 && it.choices[k] == it.perAgent-1 {
+			it.choices[k] = 0
+			k--
+		}
+		if k < 0 {
+			it.si++
+			it.choices = nil
+			continue
+		}
+		it.choices[k]++
+		return it.build(), true
+	}
+}
+
+// build materializes the pattern for the current faulty set and odometer
+// position.
+func (it *CrashPatterns) build() *model.Pattern {
+	faulty := it.subsets[it.si]
+	p := model.NewPattern(it.n, it.horizon)
+	for bi, i := range faulty {
+		p.SetFaulty(i)
+		at, mask := it.behavior(it.choices[bi])
+		if at == crashNever {
+			continue
+		}
+		var reached []model.AgentID
+		bit := 0
+		for j := 0; j < it.n; j++ {
+			if model.AgentID(j) == i {
+				continue
+			}
+			if mask&(1<<uint(bit)) != 0 {
+				reached = append(reached, model.AgentID(j))
+			}
+			bit++
+		}
+		ApplyCrash(p, i, at, reached...)
+	}
+	return p
 }
 
 // EnumerateCrash calls fn for every crash(t) pattern over n agents and the
@@ -116,69 +358,22 @@ func enumerateDrops(p *model.Pattern, slots []slot, fn func(*model.Pattern) bool
 // c in [0, horizon] (horizon meaning "never observably crashes") and, for
 // c < horizon, a proper subset of the other agents reached in the crash
 // round. Every distinct crash drop-pattern is produced exactly once.
+//
+// EnumerateCrash panics when n is too large for the reached-subset masks
+// to be enumerated (n-1 >= 62).
+//
+// Deprecated: use NewCrashPatterns, which reports rejected bounds as an
+// error instead of panicking and supports pull-style consumption.
 func EnumerateCrash(n, t, horizon int, fn func(*model.Pattern) bool) {
-	for _, faulty := range subsetsUpTo(n, t) {
-		if !enumerateCrashBehaviors(n, horizon, faulty, fn) {
+	it, err := NewCrashPatterns(n, t, horizon)
+	if err != nil {
+		panic(err.Error())
+	}
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if !fn(p) {
 			return
 		}
 	}
-}
-
-// crashBehavior is one faulty agent's crash choice.
-type crashBehavior struct {
-	at      int    // crash time, or horizon for "never"
-	reached uint64 // bitmask over other agents reached in the crash round
-}
-
-func enumerateCrashBehaviors(n, horizon int, faulty []model.AgentID, fn func(*model.Pattern) bool) bool {
-	behaviors := make([]crashBehavior, len(faulty))
-	var rec func(k int) bool
-	rec = func(k int) bool {
-		if k == len(faulty) {
-			p := model.NewPattern(n, horizon)
-			for bi, i := range faulty {
-				p.SetFaulty(i)
-				b := behaviors[bi]
-				if b.at == horizon {
-					continue
-				}
-				var reached []model.AgentID
-				bit := 0
-				for j := 0; j < n; j++ {
-					if model.AgentID(j) == i {
-						continue
-					}
-					if b.reached&(1<<uint(bit)) != 0 {
-						reached = append(reached, model.AgentID(j))
-					}
-					bit++
-				}
-				ApplyCrash(p, i, b.at, reached...)
-			}
-			return fn(p)
-		}
-		for at := 0; at <= horizon; at++ {
-			if at == horizon {
-				behaviors[k] = crashBehavior{at: at}
-				if !rec(k + 1) {
-					return false
-				}
-				continue
-			}
-			// Proper subsets only: reaching everyone at time `at` is the
-			// same drop-pattern as crashing later, which another iteration
-			// produces.
-			full := uint64(1)<<(n-1) - 1
-			for mask := uint64(0); mask < full; mask++ {
-				behaviors[k] = crashBehavior{at: at, reached: mask}
-				if !rec(k + 1) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	return rec(0)
 }
 
 // subsetsUpTo returns all subsets of {0..n-1} of size at most t, as sorted
@@ -213,21 +408,63 @@ func subsetsUpTo(n, t int) [][]model.AgentID {
 	return out
 }
 
+// InitVectors enumerates every assignment of initial preferences to n
+// agents (2^n vectors) lazily, in increasing binary order with agent 0 as
+// the least-significant bit. Construct with NewInitVectors. The slice
+// returned by Next is reused across calls; copy it if it must be retained.
+type InitVectors struct {
+	n     int
+	mask  uint64
+	total uint64
+	inits []model.Value
+}
+
+// NewInitVectors validates n and returns the iterator.
+func NewInitVectors(n int) (*InitVectors, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adversary: init enumeration needs n > 0, got %d", n)
+	}
+	if n >= 62 {
+		return nil, fmt.Errorf("adversary: 2^%d initial vectors cannot be enumerated", n)
+	}
+	return &InitVectors{n: n, total: uint64(1) << uint(n), inits: make([]model.Value, n)}, nil
+}
+
+// Count returns the total number of vectors (2^n).
+func (it *InitVectors) Count() (int64, bool) { return int64(it.total), true }
+
+// Next returns the next initial-preference vector, or false when the
+// enumeration is exhausted. The slice is reused across calls.
+func (it *InitVectors) Next() ([]model.Value, bool) {
+	if it.mask == it.total {
+		return nil, false
+	}
+	for i := 0; i < it.n; i++ {
+		if it.mask&(1<<uint(i)) != 0 {
+			it.inits[i] = model.One
+		} else {
+			it.inits[i] = model.Zero
+		}
+	}
+	it.mask++
+	return it.inits, true
+}
+
 // EnumerateInits calls fn for every assignment of initial preferences to n
 // agents (2^n vectors), in increasing binary order with agent 0 as the
 // least-significant bit. The slice passed to fn is reused; copy it if it
 // must be retained. Enumeration stops early if fn returns false.
+//
+// EnumerateInits panics when n is out of range (n <= 0 or n >= 62).
+//
+// Deprecated: use NewInitVectors, which reports rejected bounds as an
+// error instead of panicking and supports pull-style consumption.
 func EnumerateInits(n int, fn func([]model.Value) bool) {
-	inits := make([]model.Value, n)
-	total := uint64(1) << n
-	for mask := uint64(0); mask < total; mask++ {
-		for i := 0; i < n; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				inits[i] = model.One
-			} else {
-				inits[i] = model.Zero
-			}
-		}
+	it, err := NewInitVectors(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	for inits, ok := it.Next(); ok; inits, ok = it.Next() {
 		if !fn(inits) {
 			return
 		}

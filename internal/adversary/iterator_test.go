@@ -1,0 +1,198 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestSOPatternsMatchesEnumerateSO checks the pull-style iterator produces
+// exactly the callback enumeration's patterns, in the same order.
+func TestSOPatternsMatchesEnumerateSO(t *testing.T) {
+	var want []string
+	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+		want = append(want, p.Key())
+		return true
+	})
+	it, err := NewSOPatterns(3, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := it.Count(); !ok || c != int64(len(want)) {
+		t.Fatalf("Count = %d/%v, want %d/true", c, ok, len(want))
+	}
+	var got []string
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		got = append(got, p.Key())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterator produced %d patterns, enumeration %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("pattern %d differs between iterator and enumeration", k)
+		}
+	}
+	// Exhausted iterators stay exhausted.
+	if _, ok := it.Next(); ok {
+		t.Fatal("exhausted iterator produced another pattern")
+	}
+}
+
+// TestSOPatternsReusesPattern checks the allocation contract: within one
+// faulty set the iterator hands back the same pattern object, mutated in
+// place.
+func TestSOPatternsReusesPattern(t *testing.T) {
+	it, err := NewSOPatterns(3, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := it.Next() // failure-free pattern: its own faulty set
+	if !ok {
+		t.Fatal("empty enumeration")
+	}
+	second, ok := it.Next() // first pattern of the {0} faulty set
+	if !ok {
+		t.Fatal("enumeration ended after one pattern")
+	}
+	third, ok := it.Next()
+	if !ok {
+		t.Fatal("enumeration ended after two patterns")
+	}
+	if first == second {
+		t.Error("patterns of different faulty sets share an object")
+	}
+	if second != third {
+		t.Error("patterns within one faulty set are not reused")
+	}
+}
+
+// TestSOPatternsRejectsOversizedSweep checks the constructor returns
+// errors where the deprecated wrapper panics.
+func TestSOPatternsRejectsOversizedSweep(t *testing.T) {
+	if _, err := NewSOPatterns(4, 2, 4, Options{MaxPatterns: 10}); err == nil {
+		t.Error("MaxPatterns guard did not reject the sweep")
+	}
+	// 1 faulty agent × 9 recipients × 7 rounds = 63 slots >= 62.
+	if _, err := NewSOPatterns(10, 1, 7, Options{}); err == nil {
+		t.Error("62-slot guard did not reject the sweep")
+	}
+	if _, err := NewSOPatterns(0, 1, 2, Options{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestCrashPatternsMatchesEnumerateCrash checks the crash iterator
+// reproduces the recursive enumeration exactly, in order.
+func TestCrashPatternsMatchesEnumerateCrash(t *testing.T) {
+	for _, c := range []struct{ n, t, horizon int }{{3, 1, 2}, {3, 2, 2}, {4, 1, 3}, {2, 1, 0}} {
+		var want []string
+		EnumerateCrash(c.n, c.t, c.horizon, func(p *model.Pattern) bool {
+			want = append(want, p.Key())
+			return true
+		})
+		it, err := NewCrashPatterns(c.n, c.t, c.horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt, ok := it.Count(); !ok || cnt != int64(len(want)) {
+			t.Fatalf("n=%d t=%d h=%d: Count = %d/%v, want %d/true", c.n, c.t, c.horizon, cnt, ok, len(want))
+		}
+		var got []string
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			got = append(got, p.Key())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d t=%d h=%d: iterator produced %d patterns, enumeration %d",
+				c.n, c.t, c.horizon, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d t=%d h=%d: pattern %d differs", c.n, c.t, c.horizon, k)
+			}
+		}
+	}
+}
+
+// TestInitVectorsMatchesEnumerateInits checks the init iterator and its
+// count.
+func TestInitVectorsMatchesEnumerateInits(t *testing.T) {
+	var want [][]model.Value
+	EnumerateInits(3, func(inits []model.Value) bool {
+		want = append(want, append([]model.Value(nil), inits...))
+		return true
+	})
+	it, err := NewInitVectors(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := it.Count(); !ok || c != 8 {
+		t.Fatalf("Count = %d/%v, want 8/true", c, ok)
+	}
+	k := 0
+	for inits, ok := it.Next(); ok; inits, ok = it.Next() {
+		for i := range inits {
+			if inits[i] != want[k][i] {
+				t.Fatalf("vector %d differs at agent %d", k, i)
+			}
+		}
+		k++
+	}
+	if k != 8 {
+		t.Fatalf("iterator produced %d vectors, want 8", k)
+	}
+	if _, err := NewInitVectors(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewInitVectors(70); err == nil {
+		t.Error("n=70 accepted")
+	}
+}
+
+// TestCountCrashMatchesEnumeration pins CountCrash to the actual sweep.
+func TestCountCrashMatchesEnumeration(t *testing.T) {
+	want, err := CountCrash(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	EnumerateCrash(3, 1, 2, func(*model.Pattern) bool { got++; return true })
+	if got != want {
+		t.Errorf("enumerated %d crash patterns, CountCrash says %d", got, want)
+	}
+	if want != 22 {
+		t.Errorf("CountCrash(3,1,2) = %d, want 22", want)
+	}
+}
+
+// BenchmarkSOPatternSweep quantifies the allocation win of in-place
+// pattern reuse on the exhaustive-sweep hot path: "reuse" is the
+// iterator's delta-toggled pattern, "clone" re-creates the old
+// clone-per-mask behavior on top of it.
+func BenchmarkSOPatternSweep(b *testing.B) {
+	n, tf, horizon := 4, 2, 3
+	b.Run("reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it, err := NewSOPatterns(n, tf, horizon, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for p, ok := it.Next(); ok; p, ok = it.Next() {
+				_ = p
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it, err := NewSOPatterns(n, tf, horizon, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for p, ok := it.Next(); ok; p, ok = it.Next() {
+				_ = p.Clone()
+			}
+		}
+	})
+}

@@ -13,9 +13,13 @@
 //  6. δ is a function: equal states, actions, and inboxes give equal
 //     successor states (checked by re-application).
 //
-// Downstream users adding their own exchange protocols can run
-// CheckExchange against them before pairing them with the action
-// protocols in this repository.
+// Two drivers exercise the conventions: CheckExchange samples random
+// omission behavior (cheap, any n), and CheckExchangePatterns drives the
+// exchange under every failure pattern pulled from an enumerated stream
+// (exhaustive at small n — the adversary package's SO or crash iterators
+// slot in directly). Downstream users adding their own exchange protocols
+// can run both against them before pairing them with the action protocols
+// in this repository.
 package conformance
 
 import (
@@ -25,125 +29,211 @@ import (
 	"repro/internal/model"
 )
 
+// Patterns is the pull-style failure-pattern stream CheckExchangePatterns
+// consumes; adversary.SOPatterns and adversary.CrashPatterns satisfy it.
+type Patterns interface {
+	Next() (*model.Pattern, bool)
+}
+
+// reporter accumulates violation descriptions.
+type reporter struct {
+	out []string
+}
+
+func (r *reporter) report(format string, args ...interface{}) {
+	r.out = append(r.out, fmt.Sprintf(format, args...))
+}
+
+// lazyLabel renders a trial/pattern label only when a violation is
+// actually reported, keeping the conformant sweep allocation-free of
+// per-pattern label formatting.
+type lazyLabel func() string
+
+func (l lazyLabel) String() string { return l() }
+
+// initialStates builds and convention-checks the initial states (1).
+func initialStates(ex model.Exchange, inits []model.Value, label lazyLabel, r *reporter) []model.State {
+	n := ex.N()
+	states := make([]model.State, n)
+	for i := 0; i < n; i++ {
+		states[i] = ex.Initial(model.AgentID(i), inits[i])
+		s := states[i]
+		if s.Time() != 0 || s.Init() != inits[i] || s.Decided() != model.None || s.JustDecided() != model.None {
+			r.report("%s: initial state of agent %d is not ⟨0, %v, ⊥, ⊥⟩: %s", label, i, inits[i], s.Key())
+		}
+	}
+	return states
+}
+
+// checkRound drives one round: every agent sends under its action, the
+// deliver rule decides which messages arrive, and conventions 2–6 are
+// verified on the resulting transition. It returns the successor states,
+// or false when a structural violation (wrong outbox size) makes
+// continuing meaningless.
+func checkRound(ex model.Exchange, m int, states []model.State, acts []model.Action,
+	deliver func(i, j model.AgentID) bool, label lazyLabel, r *reporter) ([]model.State, bool) {
+	n := ex.N()
+	outbox := make([][]model.Message, n)
+	for i := 0; i < n; i++ {
+		outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
+		if len(outbox[i]) != n {
+			r.report("%s round %d: agent %d sent %d messages for %d agents", label, m, i, len(outbox[i]), n)
+			return nil, false
+		}
+		// Convention 3: the class of every message matches the action.
+		want := acts[i].Decision()
+		for j, msg := range outbox[i] {
+			if msg == nil {
+				if want.IsSet() {
+					r.report("%s round %d: agent %d decided %v but sent ⊥ to %d", label, m, i, want, j)
+				}
+				continue
+			}
+			if msg.Announces() != want {
+				r.report("%s round %d: agent %d action %v sent class-%v message", label, m, i, acts[i], msg.Announces())
+			}
+			if msg.Bits() <= 0 {
+				r.report("%s round %d: agent %d message with non-positive size", label, m, i)
+			}
+		}
+	}
+
+	inbox := make([][]model.Message, n)
+	for j := 0; j < n; j++ {
+		inbox[j] = make([]model.Message, n)
+		for i := 0; i < n; i++ {
+			if msg := outbox[i][j]; msg != nil && deliver(model.AgentID(i), model.AgentID(j)) {
+				inbox[j][i] = msg
+			}
+		}
+	}
+
+	next := make([]model.State, n)
+	for i := 0; i < n; i++ {
+		prev := states[i]
+		next[i] = ex.Update(model.AgentID(i), prev, acts[i], inbox[i])
+		// Convention 2: time advances by one.
+		if next[i].Time() != prev.Time()+1 {
+			r.report("%s round %d: agent %d time %d → %d", label, m, i, prev.Time(), next[i].Time())
+		}
+		// Convention 4: decisions recorded, never lost.
+		if d := acts[i].Decision(); d.IsSet() && next[i].Decided() != d {
+			r.report("%s round %d: agent %d decided %v but state records %v", label, m, i, d, next[i].Decided())
+		}
+		if prev.Decided().IsSet() && !acts[i].IsDecide() && next[i].Decided() != prev.Decided() {
+			r.report("%s round %d: agent %d lost its decision", label, m, i)
+		}
+		// Convention 5: jd reflects received announcements, 0 first.
+		wantJD := model.None
+		for _, msg := range inbox[i] {
+			if msg == nil {
+				continue
+			}
+			switch msg.Announces() {
+			case model.Zero:
+				wantJD = model.Zero
+			case model.One:
+				if wantJD == model.None {
+					wantJD = model.One
+				}
+			}
+		}
+		if next[i].JustDecided() != wantJD {
+			r.report("%s round %d: agent %d jd = %v, want %v", label, m, i, next[i].JustDecided(), wantJD)
+		}
+		// Convention 6: δ is a function of its inputs.
+		again := ex.Update(model.AgentID(i), prev, acts[i], inbox[i])
+		if again.Key() != next[i].Key() {
+			r.report("%s round %d: agent %d δ is not deterministic", label, m, i)
+		}
+		// Init is immutable.
+		if next[i].Init() != prev.Init() {
+			r.report("%s round %d: agent %d initial preference changed", label, m, i)
+		}
+	}
+	return next, true
+}
+
+// randomActions draws plausible actions: agents that have not decided
+// occasionally decide a random value.
+func randomActions(rng *rand.Rand, states []model.State) []model.Action {
+	acts := make([]model.Action, len(states))
+	for i := range acts {
+		if states[i].Decided() == model.None && rng.Intn(4) == 0 {
+			acts[i] = model.Decide(model.Value(rng.Intn(2)))
+		}
+	}
+	return acts
+}
+
 // CheckExchange drives the exchange through `trials` random rounds per
 // trial configuration and reports every convention violation found (nil
 // means conformant). The action inputs are arbitrary — conventions must
 // hold for every action protocol, not just the intended one.
 func CheckExchange(ex model.Exchange, seed int64, trials int) []string {
-	var out []string
-	report := func(format string, args ...interface{}) {
-		out = append(out, fmt.Sprintf(format, args...))
-	}
+	r := &reporter{}
 	rng := rand.New(rand.NewSource(seed))
 	n := ex.N()
 
 	for trial := 0; trial < trials; trial++ {
-		states := make([]model.State, n)
-		for i := 0; i < n; i++ {
-			init := model.Value(rng.Intn(2))
-			states[i] = ex.Initial(model.AgentID(i), init)
-			s := states[i]
-			if s.Time() != 0 || s.Init() != init || s.Decided() != model.None || s.JustDecided() != model.None {
-				report("trial %d: initial state of agent %d is not ⟨0, %v, ⊥, ⊥⟩: %s",
-					trial, i, init, s.Key())
-			}
+		label := lazyLabel(func() string { return fmt.Sprintf("trial %d", trial) })
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value(rng.Intn(2))
 		}
-
+		states := initialStates(ex, inits, label, r)
 		rounds := 2 + rng.Intn(4)
 		for m := 0; m < rounds; m++ {
-			// Random actions, biased toward noop so runs stay plausible.
-			acts := make([]model.Action, n)
-			for i := range acts {
-				if states[i].Decided() == model.None && rng.Intn(4) == 0 {
-					acts[i] = model.Decide(model.Value(rng.Intn(2)))
-				}
+			acts := randomActions(rng, states)
+			// Random omissions: self-messages always arrive.
+			next, ok := checkRound(ex, m, states, acts, func(i, j model.AgentID) bool {
+				return i == j || rng.Intn(3) != 0
+			}, label, r)
+			if !ok {
+				return r.out
 			}
-
-			outbox := make([][]model.Message, n)
-			for i := 0; i < n; i++ {
-				outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
-				if len(outbox[i]) != n {
-					report("trial %d round %d: agent %d sent %d messages for %d agents",
-						trial, m, i, len(outbox[i]), n)
-					return out
-				}
-				// Convention 3: the class of every message matches the action.
-				want := acts[i].Decision()
-				for j, msg := range outbox[i] {
-					if msg == nil {
-						if want.IsSet() {
-							report("trial %d round %d: agent %d decided %v but sent ⊥ to %d",
-								trial, m, i, want, j)
-						}
-						continue
-					}
-					if msg.Announces() != want {
-						report("trial %d round %d: agent %d action %v sent class-%v message",
-							trial, m, i, acts[i], msg.Announces())
-					}
-					if msg.Bits() <= 0 {
-						report("trial %d round %d: agent %d message with non-positive size", trial, m, i)
-					}
-				}
-			}
-
-			// Random omissions.
-			inbox := make([][]model.Message, n)
-			for j := 0; j < n; j++ {
-				inbox[j] = make([]model.Message, n)
-				for i := 0; i < n; i++ {
-					if msg := outbox[i][j]; msg != nil && (i == j || rng.Intn(3) != 0) {
-						inbox[j][i] = msg
-					}
-				}
-			}
-
-			for i := 0; i < n; i++ {
-				prev := states[i]
-				next := ex.Update(model.AgentID(i), prev, acts[i], inbox[i])
-				// Convention 2: time advances by one.
-				if next.Time() != prev.Time()+1 {
-					report("trial %d round %d: agent %d time %d → %d", trial, m, i, prev.Time(), next.Time())
-				}
-				// Convention 4: decisions recorded, never lost.
-				if d := acts[i].Decision(); d.IsSet() && next.Decided() != d {
-					report("trial %d round %d: agent %d decided %v but state records %v",
-						trial, m, i, d, next.Decided())
-				}
-				if prev.Decided().IsSet() && !acts[i].IsDecide() && next.Decided() != prev.Decided() {
-					report("trial %d round %d: agent %d lost its decision", trial, m, i)
-				}
-				// Convention 5: jd reflects received announcements, 0 first.
-				wantJD := model.None
-				for _, msg := range inbox[i] {
-					if msg == nil {
-						continue
-					}
-					switch msg.Announces() {
-					case model.Zero:
-						wantJD = model.Zero
-					case model.One:
-						if wantJD == model.None {
-							wantJD = model.One
-						}
-					}
-				}
-				if next.JustDecided() != wantJD {
-					report("trial %d round %d: agent %d jd = %v, want %v",
-						trial, m, i, next.JustDecided(), wantJD)
-				}
-				// Convention 6: δ is a function of its inputs.
-				again := ex.Update(model.AgentID(i), prev, acts[i], inbox[i])
-				if again.Key() != next.Key() {
-					report("trial %d round %d: agent %d δ is not deterministic", trial, m, i)
-				}
-				// Init is immutable.
-				if next.Init() != prev.Init() {
-					report("trial %d round %d: agent %d initial preference changed", trial, m, i)
-				}
-				states[i] = next
-			}
+			states = next
 		}
 	}
-	return out
+	return r.out
+}
+
+// CheckExchangePatterns drives the exchange under every failure pattern
+// the stream produces — omissions follow the pattern's Delivered relation
+// instead of coin flips, so the check covers the exact adversaries of the
+// failure model, exhaustively when fed an enumerated stream such as
+// adversary.NewSOPatterns. Actions are still drawn at random from the
+// seed (conventions must hold for every action protocol). It reports
+// every convention violation found; nil means conformant.
+func CheckExchangePatterns(ex model.Exchange, patterns Patterns, seed int64) []string {
+	r := &reporter{}
+	rng := rand.New(rand.NewSource(seed))
+	n := ex.N()
+
+	for k := 0; ; k++ {
+		pat, ok := patterns.Next()
+		if !ok {
+			return r.out
+		}
+		if pat.N() != n {
+			r.report("pattern %d: %d agents for an exchange of %d", k, pat.N(), n)
+			return r.out
+		}
+		label := lazyLabel(func() string { return fmt.Sprintf("pattern %d (%v)", k, pat) })
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value(rng.Intn(2))
+		}
+		states := initialStates(ex, inits, label, r)
+		for m := 0; m < pat.Horizon(); m++ {
+			acts := randomActions(rng, states)
+			next, ok := checkRound(ex, m, states, acts, func(i, j model.AgentID) bool {
+				return pat.Delivered(m, i, j)
+			}, label, r)
+			if !ok {
+				return r.out
+			}
+			states = next
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/exchange"
 	"repro/internal/model"
 )
@@ -75,5 +76,53 @@ func TestConformanceCatchesFrozenTime(t *testing.T) {
 	vs := CheckExchange(frozenTimeExchange{exchange.NewMin(3)}, 7, 5)
 	if len(vs) == 0 {
 		t.Fatal("frozen time not detected")
+	}
+}
+
+// TestAllExchangesConformUnderEnumeratedPatterns drives every exchange
+// through the exhaustive SO(1) pattern stream — the streaming counterpart
+// of the random-omission check, covering the failure model's exact
+// adversaries.
+func TestAllExchangesConformUnderEnumeratedPatterns(t *testing.T) {
+	for _, ex := range []model.Exchange{
+		exchange.NewMin(3),
+		exchange.NewBasic(3),
+		exchange.NewReport(3),
+		exchange.NewFIP(3),
+	} {
+		pats, err := adversary.NewSOPatterns(3, 1, 3, adversary.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := CheckExchangePatterns(ex, pats, 42); len(vs) != 0 {
+			t.Errorf("%s violates the conventions under enumerated patterns:\n  %s",
+				ex.Name(), strings.Join(vs, "\n  "))
+		}
+	}
+}
+
+// TestPatternCheckCatchesMislabeledClass checks the pattern-driven driver
+// detects the same convention breaches the random driver does.
+func TestPatternCheckCatchesMislabeledClass(t *testing.T) {
+	pats, err := adversary.NewSOPatterns(3, 1, 3, adversary.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := CheckExchangePatterns(brokenExchange{exchange.NewMin(3)}, pats, 7)
+	if len(vs) == 0 {
+		t.Fatal("mislabeled message class not detected under enumerated patterns")
+	}
+}
+
+// TestPatternCheckRejectsSizeMismatch checks patterns for the wrong n are
+// reported rather than silently misapplied.
+func TestPatternCheckRejectsSizeMismatch(t *testing.T) {
+	pats, err := adversary.NewSOPatterns(4, 1, 3, adversary.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := CheckExchangePatterns(exchange.NewMin(3), pats, 7)
+	if len(vs) == 0 {
+		t.Fatal("pattern/exchange size mismatch not reported")
 	}
 }

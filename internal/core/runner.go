@@ -2,7 +2,8 @@
 // a Stack to an engine.Executor (sequential engine or goroutine-per-agent
 // runtime) and executes scenarios one at a time (Run), as an
 // order-preserving parallel batch (RunBatch), or as a stream of outcomes
-// (Stream). Batches fan out over a worker pool of WithParallelism(k)
+// (Stream over slices, StreamFrom/RunSource over lazy Sources — see
+// stream.go). Batches fan out over a worker pool of WithParallelism(k)
 // workers; each worker owns its own engine.Buffers when WithBufferReuse
 // is on, so the batch hot path allocates no per-round scratch. Because
 // every run is deterministic, parallel batches are bit-for-bit identical
@@ -13,7 +14,6 @@ import (
 	"context"
 	"fmt"
 	goruntime "runtime"
-	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/spec"
@@ -143,8 +143,8 @@ func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) ([]*engine.
 		out[oc.Index] = oc.Result
 		done++
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
 	}
 	if done != len(scenarios) {
 		return nil, fmt.Errorf("runner: batch ended after %d of %d scenarios", done, len(scenarios))
@@ -152,89 +152,12 @@ func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) ([]*engine.
 	return out, nil
 }
 
-// Stream executes the scenarios over the worker pool and emits outcomes
-// on the returned channel in scenario order. The channel closes when
-// every outcome has been emitted or the context is cancelled; the
-// consumer must drain the channel or cancel the context to release the
-// workers. Unlike RunBatch, a per-scenario error does not stop the
-// stream: the outcome carries it and later scenarios still run.
-func (r *Runner) Stream(ctx context.Context, scenarios []Scenario) <-chan RunOutcome {
-	out := make(chan RunOutcome)
-	go func() {
-		defer close(out)
-		workers := r.parallelism
-		if workers > len(scenarios) {
-			workers = len(scenarios)
-		}
-		if workers < 1 {
-			workers = 1
-		}
-
-		jobs := make(chan int)
-		results := make(chan RunOutcome, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var buf *engine.Buffers
-				if r.bufferReuse {
-					buf = engine.NewBuffers()
-				}
-				for idx := range jobs {
-					select {
-					case results <- r.runOne(ctx, idx, scenarios[idx], buf):
-					case <-ctx.Done():
-						return
-					}
-				}
-			}()
-		}
-		go func() {
-			defer close(jobs)
-			for i := range scenarios {
-				select {
-				case jobs <- i:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
-		go func() {
-			wg.Wait()
-			close(results)
-		}()
-
-		// Re-sequence: workers finish out of order, the stream emits in
-		// scenario order.
-		pending := make(map[int]RunOutcome, workers)
-		next := 0
-		for oc := range results {
-			pending[oc.Index] = oc
-			for {
-				o, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				select {
-				case out <- o:
-				case <-ctx.Done():
-					return
-				}
-				next++
-			}
-		}
-	}()
-	return out
-}
-
 // runOne executes one scenario, translating context cancellation,
 // execution errors, and specification violations into the outcome.
 func (r *Runner) runOne(ctx context.Context, idx int, sc Scenario, buf *engine.Buffers) RunOutcome {
 	oc := RunOutcome{Index: idx, Scenario: sc}
-	if err := ctx.Err(); err != nil {
-		oc.Err = err
+	if ctx.Err() != nil {
+		oc.Err = context.Cause(ctx)
 		return oc
 	}
 	res, err := r.exec.Execute(r.stack.Config(sc.Pattern, sc.Inits), buf)

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// countingSource wraps a slice behind the Source interface and records how
+// many scenarios have been pulled, so tests can assert the dispatcher
+// never runs unboundedly ahead of emission.
+type countingSource struct {
+	mu        sync.Mutex
+	scenarios []Scenario
+	pulled    int
+}
+
+func (s *countingSource) Next() (Scenario, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pulled >= len(s.scenarios) {
+		return Scenario{}, false
+	}
+	sc := s.scenarios[s.pulled]
+	s.pulled++
+	return sc, true
+}
+
+func (s *countingSource) Count() (int64, bool) { return int64(len(s.scenarios)), true }
+
+func (s *countingSource) pulledSoFar() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pulled
+}
+
+// gateExecutor blocks the run of one scenario — identified by its Pattern
+// pointer — until released, forcing out-of-order completion; every other
+// scenario runs immediately.
+type gateExecutor struct {
+	inner   engine.Executor
+	target  *model.Pattern
+	release chan struct{}
+}
+
+func (g *gateExecutor) Name() string { return "gate" }
+
+func (g *gateExecutor) Execute(cfg engine.Config, buf *engine.Buffers) (*engine.Result, error) {
+	if cfg.Pattern == g.target {
+		<-g.release
+	}
+	return g.inner.Execute(cfg, buf)
+}
+
+// streamScenarios builds count failure-free scenarios whose initial
+// vectors encode their index in binary. Every scenario owns a distinct
+// Pattern object, so tests can gate on one by pointer identity.
+func streamScenarios(n, horizon, count int) []Scenario {
+	out := make([]Scenario, count)
+	for k := range out {
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value((k >> i) & 1)
+		}
+		out[k] = Scenario{Pattern: model.NewPattern(n, horizon), Inits: inits}
+	}
+	return out
+}
+
+// TestStreamFromMatchesStream checks the source-driven ordered stream is
+// outcome-for-outcome identical to the eager slice stream.
+func TestStreamFromMatchesStream(t *testing.T) {
+	st := MustStack("basic", WithN(4), WithT(1))
+	scenarios := randomScenarios(9, 4, 1, 24)
+	runner := NewRunner(st, WithParallelism(4), WithBufferReuse())
+
+	var fromSlice []RunOutcome
+	for oc := range runner.Stream(context.Background(), scenarios) {
+		fromSlice = append(fromSlice, oc)
+	}
+	var fromSource []RunOutcome
+	for oc := range runner.StreamFrom(context.Background(), &countingSource{scenarios: scenarios}) {
+		fromSource = append(fromSource, oc)
+	}
+	if len(fromSlice) != len(scenarios) || len(fromSource) != len(scenarios) {
+		t.Fatalf("emitted %d (slice) / %d (source) outcomes, want %d", len(fromSlice), len(fromSource), len(scenarios))
+	}
+	for k := range fromSlice {
+		if fromSlice[k].Index != k || fromSource[k].Index != k {
+			t.Fatalf("outcome %d out of order", k)
+		}
+		if fromSlice[k].Err != nil || fromSource[k].Err != nil {
+			t.Fatalf("outcome %d failed: %v / %v", k, fromSlice[k].Err, fromSource[k].Err)
+		}
+		assertSameRun(t, fmt.Sprintf("outcome %d", k), fromSlice[k].Result, fromSource[k].Result)
+	}
+}
+
+// TestRunSourceMatchesRunBatch checks the batch entry points agree.
+func TestRunSourceMatchesRunBatch(t *testing.T) {
+	st := MustStack("min", WithN(4), WithT(1))
+	scenarios := randomScenarios(17, 4, 1, 16)
+	runner := NewRunner(st, WithParallelism(3), WithBufferReuse())
+	batch, err := runner.RunBatch(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sourced, err := runner.RunSource(context.Background(), &countingSource{scenarios: scenarios})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sourced) != len(batch) {
+		t.Fatalf("RunSource returned %d results, RunBatch %d", len(sourced), len(batch))
+	}
+	for k := range batch {
+		assertSameRun(t, fmt.Sprintf("result %d", k), batch[k], sourced[k])
+	}
+}
+
+// TestStreamFromBoundedWindow holds the head scenario hostage and checks
+// the dispatcher stops pulling from the source once the reordering window
+// is full — the memory bound that lets unbounded sweeps stream.
+func TestStreamFromBoundedWindow(t *testing.T) {
+	const n, window, count = 4, 4, 64
+	st := MustStack("min", WithN(n), WithT(1))
+	scenarios := streamScenarios(n, st.Horizon(), count)
+	gate := &gateExecutor{inner: engine.Sequential{}, target: scenarios[0].Pattern, release: make(chan struct{})}
+	src := &countingSource{scenarios: scenarios}
+	runner := NewRunner(st, WithExecutor(gate), WithParallelism(2))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := runner.StreamFrom(ctx, src, WithWindow(window))
+
+	// With scenario 0 blocked nothing can be emitted, so the dispatcher
+	// must stall after pulling at most `window` scenarios. Give the
+	// workers ample time to overrun if the bound is broken.
+	deadline := time.After(2 * time.Second)
+	for src.pulledSoFar() < window {
+		select {
+		case <-deadline:
+			t.Fatalf("dispatcher stalled early: pulled %d of window %d", src.pulledSoFar(), window)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := src.pulledSoFar(); got > window {
+		t.Fatalf("dispatcher pulled %d scenarios with the head blocked, window is %d", got, window)
+	}
+
+	close(gate.release)
+	seen := 0
+	for oc := range out {
+		if oc.Err != nil {
+			t.Fatalf("outcome %d: %v", oc.Index, oc.Err)
+		}
+		if oc.Index != seen {
+			t.Fatalf("ordered stream emitted index %d, want %d", oc.Index, seen)
+		}
+		seen++
+	}
+	if seen != count {
+		t.Fatalf("stream emitted %d outcomes, want %d", seen, count)
+	}
+}
+
+// TestStreamFromCompletionOrder blocks the head scenario and checks the
+// completion-order stream still delivers every other outcome first, each
+// exactly once — no head-of-line blocking, no reordering buffer.
+func TestStreamFromCompletionOrder(t *testing.T) {
+	const n, count = 4, 16
+	st := MustStack("min", WithN(n), WithT(1))
+	scenarios := streamScenarios(n, st.Horizon(), count)
+	gate := &gateExecutor{inner: engine.Sequential{}, target: scenarios[0].Pattern, release: make(chan struct{})}
+	src := &countingSource{scenarios: scenarios}
+	runner := NewRunner(st, WithExecutor(gate), WithParallelism(2))
+
+	out := runner.StreamFrom(context.Background(), src, WithCompletionOrder())
+	seen := make(map[int]int)
+	emitted := 0
+	for oc := range out {
+		if oc.Err != nil {
+			t.Fatalf("outcome %d: %v", oc.Index, oc.Err)
+		}
+		seen[oc.Index]++
+		emitted++
+		// Index 0 is gated: it must not appear until everything else has
+		// been emitted and the gate opens.
+		if emitted == count-1 {
+			if seen[0] != 0 {
+				t.Fatal("gated scenario emitted before the gate opened")
+			}
+			close(gate.release)
+		}
+	}
+	if emitted != count {
+		t.Fatalf("stream emitted %d outcomes, want %d", emitted, count)
+	}
+	for k := 0; k < count; k++ {
+		if seen[k] != 1 {
+			t.Fatalf("outcome %d emitted %d times, want exactly once", k, seen[k])
+		}
+	}
+}
+
+// TestStreamFromEmptySource checks empty sources and slices close the
+// channel immediately with no outcomes.
+func TestStreamFromEmptySource(t *testing.T) {
+	st := MustStack("min", WithN(3), WithT(1))
+	runner := NewRunner(st, WithParallelism(4))
+	for name, ch := range map[string]<-chan RunOutcome{
+		"empty source": runner.StreamFrom(context.Background(), &countingSource{}),
+		"empty slice":  runner.Stream(context.Background(), nil),
+	} {
+		select {
+		case oc, ok := <-ch:
+			if ok {
+				t.Fatalf("%s emitted outcome %d", name, oc.Index)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s did not close", name)
+		}
+	}
+}
+
+// TestStreamFromCancelLeaksNoGoroutines cancels streams mid-flight and
+// checks the worker pools wind down completely.
+func TestStreamFromCancelLeaksNoGoroutines(t *testing.T) {
+	st := MustStack("fip", WithN(5), WithT(2))
+	scenarios := randomScenarios(31, 5, 2, 400)
+	before := goruntime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		src := &countingSource{scenarios: scenarios}
+		seen := 0
+		for range NewRunner(st, WithParallelism(4)).StreamFrom(ctx, src) {
+			seen++
+			if seen == 3 {
+				cancel()
+			}
+		}
+		cancel()
+		if seen >= len(scenarios) {
+			t.Fatal("stream ran to completion despite cancellation")
+		}
+	}
+	// The pools shut down asynchronously after the output channel closes;
+	// poll briefly before declaring a leak.
+	deadline := time.After(5 * time.Second)
+	for {
+		goruntime.GC()
+		if goruntime.NumGoroutine() <= before+2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked: %d before, %d after", before, goruntime.NumGoroutine())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestCancellationCausePropagates checks outcomes and batch errors carry
+// the batch context's cancellation cause, as RunOutcome.Err documents.
+func TestCancellationCausePropagates(t *testing.T) {
+	st := MustStack("min", WithN(4), WithT(1))
+	cause := errors.New("sweep preempted by operator")
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := NewRunner(st).Run(ctx, Scenario{
+		Pattern: model.NewPattern(4, st.Horizon()),
+		Inits:   make([]model.Value, 4),
+	}); !errors.Is(err, cause) {
+		t.Fatalf("Run on cause-cancelled context = %v, want %v", err, cause)
+	}
+
+	ctx, cancel = context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := NewRunner(st, WithParallelism(2)).
+		RunBatch(ctx, streamScenarios(4, st.Horizon(), 8)); !errors.Is(err, cause) {
+		t.Fatalf("RunBatch on cause-cancelled context = %v, want %v", err, cause)
+	}
+
+	// Plain cancellation still surfaces as context.Canceled.
+	plain, cancelPlain := context.WithCancel(context.Background())
+	cancelPlain()
+	if _, err := NewRunner(st).RunBatch(plain, streamScenarios(4, st.Horizon(), 4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunBatch on cancelled context = %v, want context.Canceled", err)
+	}
+}

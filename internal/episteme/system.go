@@ -93,6 +93,22 @@ type Context struct {
 	Crash bool
 }
 
+// patternIter is the pull-style pattern stream both failure models
+// provide (adversary.SOPatterns, adversary.CrashPatterns).
+type patternIter interface {
+	Next() (*model.Pattern, bool)
+}
+
+// patterns returns the context's failure-pattern iterator. Rejected
+// enumeration bounds (too many drop slots, Options.MaxPatterns exceeded)
+// surface as errors instead of the deprecated enumerators' panics.
+func (ctx Context) patterns(n, horizon int) (patternIter, error) {
+	if ctx.Crash {
+		return adversary.NewCrashPatterns(n, ctx.T, horizon)
+	}
+	return adversary.NewSOPatterns(n, ctx.T, horizon, ctx.Options)
+}
+
 // Point is a point (run, time) of an interpreted system.
 type Point struct {
 	// Run indexes System.Runs.
@@ -134,25 +150,26 @@ func BuildSystem(ctx Context, act model.ActionProtocol) (*System, error) {
 
 	// Enumerate the configurations first, then execute them in parallel
 	// into pre-assigned slots so the run order stays deterministic.
+	pats, err := ctx.patterns(n, horizon)
+	if err != nil {
+		return nil, err
+	}
 	var cfgs []engine.Config
-	collect := func(pat *model.Pattern) bool {
+	for pat, ok := pats.Next(); ok; pat, ok = pats.Next() {
 		p := pat.Clone()
-		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+		inits, err := adversary.NewInitVectors(n)
+		if err != nil {
+			return nil, err
+		}
+		for iv, ok := inits.Next(); ok; iv, ok = inits.Next() {
 			cfgs = append(cfgs, engine.Config{
 				Exchange: ctx.Exchange,
 				Action:   act,
 				Pattern:  p,
-				Inits:    append([]model.Value(nil), inits...),
+				Inits:    append([]model.Value(nil), iv...),
 				Horizon:  horizon,
 			})
-			return true
-		})
-		return true
-	}
-	if ctx.Crash {
-		adversary.EnumerateCrash(n, ctx.T, horizon, collect)
-	} else {
-		adversary.EnumerateSO(n, ctx.T, horizon, ctx.Options, collect)
+		}
 	}
 
 	sys.Runs = make([]*engine.Result, len(cfgs))

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/source"
 )
 
 // E15CommonKnowledgeAblation measures what P1's common-knowledge guards
@@ -78,25 +80,17 @@ func E16DropProbabilitySweep(seed int64, trials, parallelism int) *Table {
 	n, tf := 6, 2
 	rng := rand.New(rand.NewSource(seed))
 	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		scenarios := make([]core.Scenario, trials)
-		for trial := range scenarios {
-			pat := adversary.RandomSO(rng, n, tf, tf+2, p)
-			inits := make([]model.Value, n)
-			for i := range inits {
-				inits[i] = model.Value(rng.Intn(2))
-			}
-			scenarios[trial] = core.Scenario{Pattern: pat, Inits: inits}
-		}
+		// The three stacks compare means over the same scenarios, so the
+		// random source is collected once per drop probability and
+		// replayed; each stack's sweep itself streams at window memory.
+		scenarios := mustCollect(source.RandomScenarios(rng, n, tf, tf+2, p, int64(trials)))
 		var sumMin, sumBasic, sumFip int
-		for _, res := range mustRunBatch(core.MustStack("min", core.WithN(n), core.WithT(tf)), scenarios, parallelism) {
-			sumMin += res.MaxDecisionRound(true)
-		}
-		for _, res := range mustRunBatch(core.MustStack("basic", core.WithN(n), core.WithT(tf)), scenarios, parallelism) {
-			sumBasic += res.MaxDecisionRound(true)
-		}
-		for _, res := range mustRunBatch(core.MustStack("fip", core.WithN(n), core.WithT(tf)), scenarios, parallelism) {
-			sumFip += res.MaxDecisionRound(true)
-		}
+		mustStream(core.MustStack("min", core.WithN(n), core.WithT(tf)), source.FromSlice(scenarios), parallelism,
+			func(res *engine.Result) { sumMin += res.MaxDecisionRound(true) })
+		mustStream(core.MustStack("basic", core.WithN(n), core.WithT(tf)), source.FromSlice(scenarios), parallelism,
+			func(res *engine.Result) { sumBasic += res.MaxDecisionRound(true) })
+		mustStream(core.MustStack("fip", core.WithN(n), core.WithT(tf)), source.FromSlice(scenarios), parallelism,
+			func(res *engine.Result) { sumFip += res.MaxDecisionRound(true) })
 		mMin := float64(sumMin) / float64(trials)
 		mBasic := float64(sumBasic) / float64(trials)
 		mFip := float64(sumFip) / float64(trials)

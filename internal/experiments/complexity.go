@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/source"
 	"repro/internal/spec"
 )
 
@@ -36,6 +37,35 @@ func mustRunBatch(st core.Stack, scenarios []core.Scenario, parallelism int) []*
 		panic(fmt.Sprintf("experiments: %s: %v", st.Name, err))
 	}
 	return results
+}
+
+// mustStream pulls scenarios lazily from the source through the streaming
+// Runner and hands each result to fn in scenario order, so sweeps
+// aggregate at O(window) memory instead of materializing a scenario slice
+// and a result slice. Any execution error is a bug in the experiment
+// definition.
+func mustStream(st core.Stack, src core.Source, parallelism int, fn func(*engine.Result)) {
+	runner := core.NewRunner(st,
+		core.WithParallelism(parallelism),
+		core.WithBufferReuse(),
+	)
+	for oc := range runner.StreamFrom(context.Background(), src) {
+		if oc.Err != nil {
+			panic(fmt.Sprintf("experiments: %s: scenario %d: %v", st.Name, oc.Index, oc.Err))
+		}
+		fn(oc.Result)
+	}
+}
+
+// mustCollect drains a bounded source into a scenario slice, for sweeps
+// that must replay identical scenarios against several stacks (the
+// run-by-run correspondence the dominance order needs).
+func mustCollect(src core.Source) []core.Scenario {
+	scenarios, err := source.Collect(src)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return scenarios
 }
 
 // fipExactBits is the closed-form bit count of a t+2-round run of the
@@ -211,19 +241,14 @@ func E5TerminationBound(seed int64, trials, parallelism int) *Table {
 	rng := rand.New(rand.NewSource(seed))
 	for _, name := range []string{"min", "basic", "fip"} {
 		st := core.MustStack(name, core.WithN(n), core.WithT(tf))
-		scenarios := make([]core.Scenario, trials)
-		for trial := range scenarios {
-			pat := adversary.RandomSO(rng, n, tf, tf+2, 0.45)
-			inits := make([]model.Value, n)
-			for i := range inits {
-				inits[i] = model.Value(rng.Intn(2))
-			}
-			scenarios[trial] = core.Scenario{Pattern: pat, Inits: inits}
-		}
+		// Each stack sweeps its own lazily generated scenarios: the source
+		// draws from the rng in the same order the eager loop did, so the
+		// table is unchanged, but nothing is materialized.
+		src := source.RandomScenarios(rng, n, tf, tf+2, 0.45, int64(trials))
 		hist := make([]int, tf+3)
 		violations := 0
 		maxRound := 0
-		for _, res := range mustRunBatch(st, scenarios, parallelism) {
+		mustStream(st, src, parallelism, func(res *engine.Result) {
 			violations += len(spec.CheckRun(res, spec.Options{RoundBound: tf + 2, ValidityAllAgents: true}))
 			for i := 0; i < n; i++ {
 				r := res.Round(model.AgentID(i))
@@ -234,7 +259,7 @@ func E5TerminationBound(seed int64, trials, parallelism int) *Table {
 					hist[r]++
 				}
 			}
-		}
+		})
 		if violations > 0 || maxRound > tf+2 {
 			t.Pass = false
 		}

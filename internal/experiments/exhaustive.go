@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/adversary"
 	"repro/internal/core"
-	"repro/internal/model"
+	"repro/internal/engine"
+	"repro/internal/source"
 	"repro/internal/spec"
 )
 
@@ -12,7 +15,8 @@ import (
 // every protocol stack over EVERY failure pattern of the model and EVERY
 // initial assignment, at exhaustively checkable sizes. This is the
 // brute-force counterpart of Proposition 6.1 and complements the
-// knowledge-level checks of E6–E10.
+// knowledge-level checks of E6–E10. The sweeps stream through the Runner
+// from lazy sources, so the scenario space is never materialized.
 func E17ExhaustiveSpec() *Table {
 	t := &Table{
 		ID:      "E17",
@@ -36,27 +40,30 @@ func E17ExhaustiveSpec() *Table {
 		{core.FIP(3, 1), true},
 	}
 	for _, c := range cases {
-		runs, violations := 0, 0
-		check := func(pat *model.Pattern) bool {
-			p := pat.Clone()
-			adversary.EnumerateInits(c.st.N, func(inits []model.Value) bool {
-				res := mustRun(c.st, p, append([]model.Value(nil), inits...))
-				runs++
-				violations += len(spec.CheckRun(res, spec.Options{
-					RoundBound:        c.st.Horizon(),
-					ValidityAllAgents: true,
-				}))
-				return true
-			})
-			return true
-		}
+		var pats source.Patterns
+		var err error
 		kind := "SO"
 		if c.crash {
 			kind = "crash"
-			adversary.EnumerateCrash(c.st.N, c.st.T, c.st.Horizon(), check)
+			pats, err = source.Crash(c.st.N, c.st.T, c.st.Horizon())
 		} else {
-			adversary.EnumerateSO(c.st.N, c.st.T, c.st.Horizon(), adversary.Options{}, check)
+			pats, err = source.SO(c.st.N, c.st.T, c.st.Horizon(), adversary.Options{})
 		}
+		if err != nil {
+			panic(fmt.Sprintf("experiments: E17: %v", err))
+		}
+		src, err := source.CrossInits(pats, c.st.N)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: E17: %v", err))
+		}
+		runs, violations := 0, 0
+		mustStream(c.st, src, 0, func(res *engine.Result) {
+			runs++
+			violations += len(spec.CheckRun(res, spec.Options{
+				RoundBound:        c.st.Horizon(),
+				ValidityAllAgents: true,
+			}))
+		})
 		if violations != 0 {
 			t.Pass = false
 		}

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/source"
 	"repro/internal/spec"
 )
 
@@ -59,17 +61,10 @@ func E12BasicVsFip(seed int64, trials, parallelism int) *Table {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for _, c := range []struct{ n, tf int }{{5, 2}, {7, 3}} {
-		scenarios := make([]core.Scenario, trials)
-		for trial := range scenarios {
-			pat := adversary.RandomSO(rng, c.n, c.tf, c.tf+2, 0.5)
-			inits := make([]model.Value, c.n)
-			for i := range inits {
-				inits[i] = model.Value(rng.Intn(2))
-			}
-			scenarios[trial] = core.Scenario{Pattern: pat, Inits: inits}
-		}
-		// The two batches share the scenario list index by index — the
-		// run-by-run correspondence the gap is defined over.
+		// The gap is defined over corresponding runs, so the two stacks
+		// must sweep identical scenarios: collect the random source once
+		// and replay it for both batches, index by index.
+		scenarios := mustCollect(source.RandomScenarios(rng, c.n, c.tf, c.tf+2, 0.5, int64(trials)))
 		basicRuns := mustRunBatch(core.MustStack("basic", core.WithN(c.n), core.WithT(c.tf)), scenarios, parallelism)
 		fipRuns := mustRunBatch(core.MustStack("fip", core.WithN(c.n), core.WithT(c.tf)), scenarios, parallelism)
 		gapHist := make([]int, 4)
@@ -121,25 +116,28 @@ func E13CrashVsOmission() *Table {
 	n, tf := 3, 1
 
 	count := func(st core.Stack, crash bool) (runs, violations int) {
-		check := func(pat *model.Pattern) bool {
-			p := pat.Clone()
-			adversary.EnumerateInits(n, func(inits []model.Value) bool {
-				res := mustRun(st, p, append([]model.Value(nil), inits...))
-				runs++
-				for _, v := range spec.CheckRun(res, spec.Options{}) {
-					if v.Property == "Agreement" {
-						violations++
-					}
-				}
-				return true
-			})
-			return true
-		}
+		var pats source.Patterns
+		var err error
 		if crash {
-			adversary.EnumerateCrash(n, tf, tf+2, check)
+			pats, err = source.Crash(n, tf, tf+2)
 		} else {
-			adversary.EnumerateSO(n, tf, tf+2, adversary.Options{}, check)
+			pats, err = source.SO(n, tf, tf+2, adversary.Options{})
 		}
+		if err != nil {
+			panic(fmt.Sprintf("experiments: E13: %v", err))
+		}
+		src, err := source.CrossInits(pats, n)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: E13: %v", err))
+		}
+		mustStream(st, src, 0, func(res *engine.Result) {
+			runs++
+			for _, v := range spec.CheckRun(res, spec.Options{}) {
+				if v.Property == "Agreement" {
+					violations++
+				}
+			}
+		})
 		return runs, violations
 	}
 

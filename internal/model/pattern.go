@@ -116,6 +116,17 @@ func (p *Pattern) Drop(m int, i, j AgentID) {
 	p.drops[p.idx(m, i, j)] = true
 }
 
+// Undrop restores delivery of the message sent by i to j at time m. The
+// agent's faulty mark is left in place: enumerators sweep drop sets on a
+// fixed faulty set, and the paper explicitly allows a faulty agent that
+// drops nothing (footnote 3). It panics if m is outside [0, Horizon).
+func (p *Pattern) Undrop(m int, i, j AgentID) {
+	if m < 0 || m >= p.horizon {
+		panic(fmt.Sprintf("model: Undrop time %d outside horizon %d", m, p.horizon))
+	}
+	p.drops[p.idx(m, i, j)] = false
+}
+
 // Silence drops every message agent i sends at times [from, to) (to every
 // recipient other than i itself) and marks i faulty. A to beyond the
 // horizon is clipped.

@@ -7,8 +7,10 @@ import (
 )
 
 // Runner executes scenarios against one stack: one at a time (Run), as an
-// order-preserving parallel batch (RunBatch), or as a stream of outcomes
-// (Stream). See NewRunner.
+// order-preserving parallel batch (RunBatch), as a stream of outcomes
+// over a slice (Stream), or pulled lazily from a Source (StreamFrom,
+// RunSource) so unbounded sweeps run at bounded memory. See NewRunner and
+// the Source constructors (SourceSO, SourceCrash, SourceRandomSO).
 type Runner = core.Runner
 
 // RunnerOption configures NewRunner: WithExecutor, WithParallelism,

@@ -1,0 +1,192 @@
+package eba_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	eba "repro"
+	"repro/internal/adversary"
+	"repro/internal/model"
+)
+
+// meteredSource wraps a Source and tracks how far the Runner's dispatcher
+// has pulled ahead of the outcomes the consumer has seen — the streaming
+// path's memory footprint in scenarios.
+type meteredSource struct {
+	mu         sync.Mutex
+	inner      eba.Source
+	pulled     int
+	emitted    int
+	maxAhead   int
+	totalCount int
+}
+
+func (m *meteredSource) Next() (eba.Scenario, bool) {
+	sc, ok := m.inner.Next()
+	if ok {
+		m.mu.Lock()
+		m.pulled++
+		if ahead := m.pulled - m.emitted; ahead > m.maxAhead {
+			m.maxAhead = ahead
+		}
+		m.totalCount++
+		m.mu.Unlock()
+	}
+	return sc, ok
+}
+
+func (m *meteredSource) Count() (int64, bool) { return m.inner.Count() }
+
+func (m *meteredSource) sawEmitted() {
+	m.mu.Lock()
+	m.emitted++
+	m.mu.Unlock()
+}
+
+// TestSourceSOSweepMatchesEagerSlice is the acceptance check of the
+// streaming subsystem: an exhaustive n=3, t=1, horizon=2 SO sweep driven
+// by eba.SourceSO through Runner.StreamFrom produces bit-identical
+// results to the eager-slice RunBatch path, while the dispatcher never
+// runs more than the reordering window ahead of the consumer — the full
+// scenario list (49 patterns × 8 init vectors = 392 scenarios) is never
+// materialized.
+func TestSourceSOSweepMatchesEagerSlice(t *testing.T) {
+	const n, tf, horizon, window = 3, 1, 2, 4
+	stack, err := eba.NewStack("fip", eba.WithN(n), eba.WithT(tf), eba.WithHorizon(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := eba.NewRunner(stack, eba.WithParallelism(4), eba.WithBufferReuse())
+
+	// Eager path: materialize the whole sweep, run it as a batch.
+	var scenarios []eba.Scenario
+	adversary.EnumerateSO(n, tf, horizon, adversary.Options{}, func(pat *model.Pattern) bool {
+		p := pat.Clone()
+		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+			scenarios = append(scenarios, eba.Scenario{Pattern: p, Inits: append([]model.Value(nil), inits...)})
+			return true
+		})
+		return true
+	})
+	want, err := runner.RunBatch(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming path: the same sweep pulled lazily through a bounded
+	// window.
+	src, err := eba.SourceSO(n, tf, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := src.Count(); !ok || c != int64(len(scenarios)) {
+		t.Fatalf("SourceSO count = %d/%v, eager slice has %d scenarios", c, ok, len(scenarios))
+	}
+	metered := &meteredSource{inner: src}
+	k := 0
+	for oc := range runner.StreamFrom(context.Background(), metered, eba.WithWindow(window)) {
+		metered.sawEmitted()
+		if oc.Err != nil {
+			t.Fatalf("scenario %d: %v", oc.Index, oc.Err)
+		}
+		if oc.Index != k {
+			t.Fatalf("stream emitted index %d, want %d", oc.Index, k)
+		}
+		if k >= len(want) {
+			t.Fatalf("stream emitted more than the %d eager scenarios", len(want))
+		}
+		// Bit-identity: traffic stats, full trace, and decision ledger.
+		if want[k].Stats != oc.Result.Stats {
+			t.Fatalf("scenario %d: stats differ between eager and streamed runs", k)
+		}
+		for m := range want[k].States {
+			for i := range want[k].States[m] {
+				if want[k].States[m][i].Key() != oc.Result.States[m][i].Key() {
+					t.Fatalf("scenario %d: state differs at time %d agent %d", k, m, i)
+				}
+			}
+		}
+		for i := range want[k].Decision {
+			if want[k].Decision[i] != oc.Result.Decision[i] ||
+				want[k].DecisionRound[i] != oc.Result.DecisionRound[i] {
+				t.Fatalf("scenario %d: decision ledger differs for agent %d", k, i)
+			}
+		}
+		k++
+	}
+	if k != len(want) {
+		t.Fatalf("stream emitted %d outcomes, want %d", k, len(want))
+	}
+	if metered.totalCount != len(scenarios) {
+		t.Fatalf("source produced %d scenarios, eager slice %d", metered.totalCount, len(scenarios))
+	}
+	// The memory bound: the dispatcher may pull at most `window` scenarios
+	// beyond what the consumer has seen (the in-flight set), far below the
+	// full sweep. The +1 covers the instant between the consumer receiving
+	// an outcome and this test recording it.
+	if metered.maxAhead > window+1 {
+		t.Fatalf("dispatcher ran %d scenarios ahead of the consumer, window is %d", metered.maxAhead, window)
+	}
+}
+
+// TestSourceRandomSOReplays checks seeded random sources replay
+// identically, the property that lets several stacks sweep corresponding
+// scenarios without a materialized slice.
+func TestSourceRandomSOReplays(t *testing.T) {
+	a := eba.SourceRandomSO(42, 5, 2, 4, 0.5, 30)
+	b := eba.SourceRandomSO(42, 5, 2, 4, 0.5, 30)
+	for k := 0; ; k++ {
+		sa, oka := a.Next()
+		sb, okb := b.Next()
+		if oka != okb {
+			t.Fatalf("sources disagree on length at scenario %d", k)
+		}
+		if !oka {
+			if k != 30 {
+				t.Fatalf("sources ended after %d scenarios, want 30", k)
+			}
+			return
+		}
+		if sa.Pattern.Key() != sb.Pattern.Key() {
+			t.Fatalf("scenario %d: patterns differ across replays", k)
+		}
+		for i := range sa.Inits {
+			if sa.Inits[i] != sb.Inits[i] {
+				t.Fatalf("scenario %d: inits differ across replays", k)
+			}
+		}
+	}
+}
+
+// TestSourceLimitThroughRunner drives limited sources — over both an
+// unbounded generator and a bounded exhaustive sweep — through RunSource
+// end-to-end (the latter exercises the post-drain count check against
+// Limit's immutable total).
+func TestSourceLimitThroughRunner(t *testing.T) {
+	stack, err := eba.NewStack("basic", eba.WithN(4), eba.WithT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := eba.NewRunner(stack, eba.WithParallelism(2), eba.WithBufferReuse())
+	src := eba.SourceLimit(eba.SourceRandomSO(7, 4, 1, stack.Horizon(), 0.4, -1), 25)
+	results, err := runner.RunSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 25 {
+		t.Fatalf("RunSource returned %d results, want 25", len(results))
+	}
+
+	exhaustive, err := eba.SourceSO(4, 1, stack.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err = runner.RunSource(context.Background(), eba.SourceLimit(exhaustive, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 25 {
+		t.Fatalf("RunSource over limited bounded source returned %d results, want 25", len(results))
+	}
+}

@@ -25,6 +25,18 @@ import (
 	"repro/internal/model"
 )
 
+// buildSystem builds a stack's interpreted system through the model
+// checker's public construction path.
+func buildSystem(b *testing.B, name string, n, t int) *episteme.System {
+	b.Helper()
+	st := stack(b, name, n, t)
+	sys, err := episteme.BuildSystem(context.Background(), episteme.ContextFor(st), st.Action)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
 // stack builds a registered stack, failing the benchmark on a bad name.
 func stack(b *testing.B, name string, n, t int) eba.Stack {
 	b.Helper()
@@ -112,11 +124,8 @@ func BenchmarkE5TerminationBound(b *testing.B) {
 
 func BenchmarkE6ImplementsMin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := stack(b, "min", 3, 1).BuildSystem()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if ms := sys.CheckImplements(episteme.P0, 1); len(ms) != 0 {
+		sys := buildSystem(b, "min", 3, 1)
+		if ms, err := sys.CheckImplements(context.Background(), episteme.P0, 1); err != nil || len(ms) != 0 {
 			b.Fatal("mismatch")
 		}
 	}
@@ -124,11 +133,8 @@ func BenchmarkE6ImplementsMin(b *testing.B) {
 
 func BenchmarkE7ImplementsBasic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := stack(b, "basic", 3, 1).BuildSystem()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if ms := sys.CheckImplements(episteme.P0, 1); len(ms) != 0 {
+		sys := buildSystem(b, "basic", 3, 1)
+		if ms, err := sys.CheckImplements(context.Background(), episteme.P0, 1); err != nil || len(ms) != 0 {
 			b.Fatal("mismatch")
 		}
 	}
@@ -136,37 +142,28 @@ func BenchmarkE7ImplementsBasic(b *testing.B) {
 
 func BenchmarkE8ImplementsFIP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := stack(b, "fip", 3, 1).BuildSystem()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if ms := sys.CheckImplements(episteme.P1, 1); len(ms) != 0 {
+		sys := buildSystem(b, "fip", 3, 1)
+		if ms, err := sys.CheckImplements(context.Background(), episteme.P1, 1); err != nil || len(ms) != 0 {
 			b.Fatal("mismatch")
 		}
 	}
 }
 
 func BenchmarkE9OptimalityCharacterization(b *testing.B) {
-	sys, err := stack(b, "fip", 3, 1).BuildSystem()
-	if err != nil {
-		b.Fatal(err)
-	}
+	sys := buildSystem(b, "fip", 3, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if vs := sys.CheckOptimalityFIP(-1, 1); len(vs) != 0 {
+		if vs, err := sys.CheckOptimalityFIP(context.Background(), -1, 1); err != nil || len(vs) != 0 {
 			b.Fatal("violation")
 		}
 	}
 }
 
 func BenchmarkE10Safety(b *testing.B) {
-	sys, err := stack(b, "min", 3, 1).BuildSystem()
-	if err != nil {
-		b.Fatal(err)
-	}
+	sys := buildSystem(b, "min", 3, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if vs := sys.CheckSafety(1); len(vs) != 0 {
+		if vs, err := sys.CheckSafety(context.Background(), 1); err != nil || len(vs) != 0 {
 			b.Fatal("violation")
 		}
 	}
@@ -222,9 +219,9 @@ func BenchmarkE13CrashVsOmission(b *testing.B) {
 }
 
 func BenchmarkE14Synthesize(b *testing.B) {
-	ctx := episteme.Context{Exchange: exchange.NewMin(3), T: 1}
+	c := episteme.Context{Exchange: exchange.NewMin(3), T: 1}
 	for i := 0; i < b.N; i++ {
-		if _, _, err := episteme.Synthesize(ctx, episteme.P0); err != nil {
+		if _, _, err := episteme.Synthesize(context.Background(), c, episteme.P0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -366,8 +363,39 @@ func BenchmarkRefOwnerAction(b *testing.B) {
 
 func BenchmarkBuildSystemMin31(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := stack(b, "min", 3, 1).BuildSystem(); err != nil {
+		st := stack(b, "min", 3, 1)
+		if _, err := episteme.BuildSystem(context.Background(), episteme.ContextFor(st), st.Action); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildSystem is the model checker's reference build workload
+// (γ_fip at n=3, t=1): streaming enumeration through the Runner, the
+// memoizing executor, and the interned index. BENCH_episteme.json tracks
+// the same quantity across PRs.
+func BenchmarkBuildSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eba.BuildSystem(context.Background(), stack(b, "fip", 3, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckImplements is the model checker's reference check
+// workload: a cold CheckImplements(P1) — including the concurrent C_N
+// condensation builds — on a fresh γ_fip n=3, t=1 system each iteration.
+func BenchmarkCheckImplements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := eba.BuildSystem(context.Background(), stack(b, "fip", 3, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ms, err := sys.CheckImplements(context.Background(), eba.ProgramP1, 0)
+		if err != nil || len(ms) != 0 {
+			b.Fatalf("mismatches=%d err=%v", len(ms), err)
 		}
 	}
 }

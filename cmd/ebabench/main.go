@@ -7,12 +7,18 @@
 // never changes the numbers (batches are deterministic and
 // order-preserving).
 //
+// With -bench-episteme it instead measures the model checker's reference
+// workloads (BuildSystem + CheckImplements on γ_fip at n=3,t=1 and
+// n=4,t=1) and writes the perf-trajectory record — including the
+// pre-sharding baseline — to the given JSON file.
+//
 // Usage:
 //
-//	ebabench                  # everything (model checking takes ~1 min)
+//	ebabench                  # everything, including the model checks
 //	ebabench -skip-slow       # simulation experiments only
 //	ebabench -trials 2000     # more random trials
-//	ebabench -parallel 4      # 4 batch workers for the scenario sweeps
+//	ebabench -parallel 4      # 4 workers for sweeps and model checking
+//	ebabench -bench-episteme BENCH_episteme.json
 package main
 
 import (
@@ -34,13 +40,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ebabench", flag.ContinueOnError)
 	var (
-		seed     = fs.Int64("seed", experiments.DefaultConfig.Seed, "random seed")
-		trials   = fs.Int("trials", experiments.DefaultConfig.Trials, "random trials per experiment")
-		parallel = fs.Int("parallel", 0, "batch workers for the scenario sweeps (0 = one per CPU)")
-		skipSlow = fs.Bool("skip-slow", false, "skip the exhaustive model-checking experiments")
+		seed      = fs.Int64("seed", experiments.DefaultConfig.Seed, "random seed")
+		trials    = fs.Int("trials", experiments.DefaultConfig.Trials, "random trials per experiment")
+		parallel  = fs.Int("parallel", 0, "workers for the scenario sweeps and model checks (0 = one per CPU)")
+		skipSlow  = fs.Bool("skip-slow", false, "skip the exhaustive model-checking experiments")
+		benchOut  = fs.String("bench-episteme", "", "measure the model checker's reference workloads and write the perf record to this JSON file (skips the experiment tables)")
+		benchReps = fs.Int("bench-reps", 3, "repetitions per workload for -bench-episteme (medians are reported)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchOut != "" {
+		return benchEpisteme(*benchOut, *parallel, *benchReps)
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallelism: *parallel, SkipSlow: *skipSlow}
@@ -63,5 +75,38 @@ func run(args []string) error {
 		return fmt.Errorf("%d experiment(s) failed", failures)
 	}
 	fmt.Println("all experiments reproduce the paper's claims")
+	return nil
+}
+
+// benchEpisteme measures the model checker's reference workloads and
+// writes the perf-trajectory record.
+func benchEpisteme(path string, parallel, reps int) error {
+	fmt.Printf("benchmarking the model checker (parallel=%d, reps=%d)...\n", parallel, reps)
+	bench, err := experiments.BenchEpisteme(parallel, reps)
+	if err != nil {
+		return err
+	}
+	for _, e := range bench.Entries {
+		if e.Mismatches != 0 {
+			return fmt.Errorf("%s: %d mismatches — Theorem A.21 should machine-check", e.Name, e.Mismatches)
+		}
+		line := fmt.Sprintf("  %s: runs=%d build=%.4fs check=%.4fs", e.Name, e.Runs, e.BuildSeconds, e.CheckImplementsSeconds)
+		if base, ok := bench.Baseline[e.Name]; ok {
+			now := e.BuildSeconds + e.CheckImplementsSeconds
+			was := base.BuildSeconds + base.CheckImplementsSeconds
+			if now > 0 {
+				line += fmt.Sprintf("  (%.2fx vs pre-sharding baseline)", was/now)
+			}
+		}
+		fmt.Println(line)
+	}
+	data, err := bench.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

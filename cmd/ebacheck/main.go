@@ -66,6 +66,7 @@ func run(args []string) error {
 		optimality = fs.Bool("optimality", true, "for -stack fip: check the Theorem 7.5 characterization")
 		sweep      = fs.Bool("sweep", false, "stream the exhaustive SO(t) scenario sweep through the Runner and spec-check every run")
 		knowledge  = fs.Bool("knowledge", true, "run the knowledge-theoretic checks (implements/safety/optimality)")
+		parallel   = fs.Int("parallel", 0, "model-checker workers (0 = one per CPU; never changes the verdicts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,10 +105,11 @@ func run(args []string) error {
 		return nil
 	}
 
+	ctx := context.Background()
 	fmt.Printf("building exhaustive system for %s (n=%d, t=%d, horizon=%d)...\n",
 		stack.Name, *n, *t, stack.Horizon())
 	t0 := time.Now()
-	sys, err := stack.BuildSystem()
+	sys, err := eba.BuildSystem(ctx, stack, eba.WithCheckParallelism(*parallel))
 	if err != nil {
 		return err
 	}
@@ -115,7 +117,10 @@ func run(args []string) error {
 
 	fmt.Printf("checking: %s implements %s ... ", stack.Action.Name(), prog)
 	t0 = time.Now()
-	ms := sys.CheckImplements(prog, 5)
+	ms, err := sys.CheckImplements(ctx, prog, 5)
+	if err != nil {
+		return err
+	}
 	if len(ms) == 0 {
 		fmt.Printf("OK (%.2fs)\n", time.Since(t0).Seconds())
 	} else {
@@ -129,7 +134,10 @@ func run(args []string) error {
 	if *safety {
 		fmt.Printf("checking: Definition 6.2 safety condition ... ")
 		t0 = time.Now()
-		vs := sys.CheckSafety(5)
+		vs, err := sys.CheckSafety(ctx, 5)
+		if err != nil {
+			return err
+		}
 		if len(vs) == 0 {
 			fmt.Printf("OK (%.2fs)\n", time.Since(t0).Seconds())
 		} else {
@@ -148,7 +156,10 @@ func run(args []string) error {
 	if stack.Name == "fip" && *optimality {
 		fmt.Printf("checking: Theorem 7.5 optimality characterization ... ")
 		t0 = time.Now()
-		vs := sys.CheckOptimalityFIP(-1, 5)
+		vs, err := sys.CheckOptimalityFIP(ctx, -1, 5)
+		if err != nil {
+			return err
+		}
 		if len(vs) == 0 {
 			fmt.Printf("OK (%.2fs)\n", time.Since(t0).Seconds())
 		} else {

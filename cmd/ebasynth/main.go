@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,9 +40,10 @@ var references = map[string]string{
 func run(args []string) error {
 	fs := flag.NewFlagSet("ebasynth", flag.ContinueOnError)
 	var (
-		exName = fs.String("exchange", "min", "information exchange: min or basic (registry names)")
-		n      = fs.Int("n", 3, "number of agents")
-		t      = fs.Int("t", 1, "failure bound t")
+		exName   = fs.String("exchange", "min", "information exchange: min or basic (registry names)")
+		n        = fs.Int("n", 3, "number of agents")
+		t        = fs.Int("t", 1, "failure bound t")
+		parallel = fs.Int("parallel", 0, "model-checker workers (0 = one per CPU; never changes the result)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,7 +68,7 @@ func run(args []string) error {
 	fmt.Printf("synthesizing a concrete protocol from P0 over %s (n=%d, t=%d)...\n",
 		stack.Exchange.Name(), *n, *t)
 	t0 := time.Now()
-	synth, sys, err := eba.Synthesize(stack, eba.ProgramP0)
+	synth, sys, err := eba.Synthesize(context.Background(), stack, eba.ProgramP0, eba.WithCheckParallelism(*parallel))
 	if err != nil {
 		return err
 	}

@@ -51,6 +51,7 @@
 package eba
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/adversary"
@@ -211,18 +212,44 @@ func CompareRuns(runsP, runsQ []*Result) (spec.Dominance, error) {
 // Dominance is the result of CompareRuns.
 type Dominance = spec.Dominance
 
+// CheckOption tunes the model checker: WithCheckParallelism.
+type CheckOption = episteme.Option
+
+// WithCheckParallelism sets the model checker's worker count: run
+// execution, index interning, C_N condensation, and the checkers' point
+// loops all shard over k workers. k <= 0 (and the default) means one
+// worker per available CPU. Results are independent of k — every parallel
+// path reassembles its output in the canonical enumeration order.
+func WithCheckParallelism(k int) CheckOption { return episteme.WithParallelism(k) }
+
+// BuildSystem builds the stack's interpreted system by exhaustive
+// enumeration of every failure pattern and initial assignment in the
+// stack's EBA context (small n and t only — the construction is
+// exponential). Runs stream through the same Runner worker pool RunBatch
+// uses; ctx cancels the build, and WithCheckParallelism tunes it. The
+// returned System serves the knowledge checks (CheckImplements,
+// CheckSafety, CheckOptimalityFIP) and is safe for concurrent use.
+func BuildSystem(ctx context.Context, stack Stack, opts ...CheckOption) (*System, error) {
+	return episteme.BuildSystem(ctx, episteme.ContextFor(stack), stack.Action, opts...)
+}
+
 // VerifyImplementation machine-checks that the stack's action protocol
 // implements the given knowledge-based program in the stack's EBA context
 // (Theorems 6.5, 6.6, A.21), by exhaustive enumeration of every failure
 // pattern and initial assignment. Exponential: small n and t only. The
-// returned strings describe disagreements; empty means verified.
-func VerifyImplementation(stack Stack, prog Program) ([]string, error) {
-	sys, err := stack.BuildSystem()
+// returned strings describe disagreements (at most 10, with a truncation
+// notice when more were found); empty means verified.
+func VerifyImplementation(ctx context.Context, stack Stack, prog Program, opts ...CheckOption) ([]string, error) {
+	sys, err := BuildSystem(ctx, stack, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := sys.CheckImplements(ctx, prog, 10)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
-	for _, m := range sys.CheckImplements(prog, 10) {
+	for _, m := range ms {
 		out = append(out, m.String())
 	}
 	return out, nil
@@ -230,12 +257,13 @@ func VerifyImplementation(stack Stack, prog Program) ([]string, error) {
 
 // VerifyOptimality machine-checks the Theorem 7.5 optimality
 // characterization for a full-information stack by exhaustive enumeration.
-// The returned strings describe violations; empty means the stack's
-// decisions are optimal with respect to full information exchange.
-func VerifyOptimality(stack Stack) ([]string, error) {
-	sys, err := stack.BuildSystem()
+// The returned strings describe violations (at most 10, with a truncation
+// notice when more were found); empty means the stack's decisions are
+// optimal with respect to full information exchange.
+func VerifyOptimality(ctx context.Context, stack Stack, opts ...CheckOption) ([]string, error) {
+	sys, err := BuildSystem(ctx, stack, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return sys.CheckOptimalityFIP(-1, 10), nil
+	return sys.CheckOptimalityFIP(ctx, -1, 10)
 }

@@ -2,6 +2,7 @@ package eba_test
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestPublicVerifyImplementation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	bad, err := eba.VerifyImplementation(eba.Min(3, 1), eba.ProgramP0)
+	bad, err := eba.VerifyImplementation(context.Background(), eba.Min(3, 1), eba.ProgramP0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestPublicVerifyImplementation(t *testing.T) {
 	// implementation of P1 (it ignores what full information offers).
 	mixed := eba.FIP(3, 1)
 	mixed.Action = eba.Min(3, 1).Action
-	bad, err = eba.VerifyImplementation(mixed, eba.ProgramP1)
+	bad, err = eba.VerifyImplementation(context.Background(), mixed, eba.ProgramP1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +113,14 @@ func TestPublicVerifyOptimality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	bad, err := eba.VerifyOptimality(eba.FIP(3, 1))
+	bad, err := eba.VerifyOptimality(context.Background(), eba.FIP(3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(bad) != 0 {
 		t.Errorf("Popt should be optimal: %v", bad)
 	}
-	bad, err = eba.VerifyOptimality(eba.FIPNoCK(3, 1))
+	bad, err = eba.VerifyOptimality(context.Background(), eba.FIPNoCK(3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,5 +285,43 @@ func TestPublicNaiveIsBroken(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("expected an Agreement violation, got %v", vs)
+	}
+}
+
+func TestPublicBuildSystemParallelism(t *testing.T) {
+	// The public checker options: explicit parallelism never changes the
+	// verdicts, and the built system serves all three checkers.
+	ctx := context.Background()
+	stack := eba.MustStack("fip", eba.WithN(3), eba.WithT(1))
+	seq, err := eba.BuildSystem(ctx, stack, eba.WithCheckParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := eba.BuildSystem(ctx, stack, eba.WithCheckParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(seq.Runs), len(par.Runs))
+	}
+	msSeq, err := seq.CheckImplements(ctx, eba.ProgramP1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msPar, err := par.CheckImplements(ctx, eba.ProgramP1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msSeq) != 0 || len(msPar) != 0 {
+		t.Errorf("Popt/P1 mismatches: seq=%d par=%d, want 0", len(msSeq), len(msPar))
+	}
+}
+
+func TestPublicCheckCancellation(t *testing.T) {
+	cause := errors.New("cancelled by test")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := eba.BuildSystem(ctx, eba.MustStack("min", eba.WithN(3), eba.WithT(1))); !errors.Is(err, cause) {
+		t.Fatalf("BuildSystem error = %v, want the cancellation cause", err)
 	}
 }

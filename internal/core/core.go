@@ -25,7 +25,6 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
-	"repro/internal/episteme"
 	"repro/internal/model"
 	"repro/internal/registry"
 	"repro/internal/runtime"
@@ -197,16 +196,17 @@ func (s Stack) RunConcurrent(pat *model.Pattern, inits []model.Value) (*engine.R
 	return runtime.Run(s.Config(pat, inits))
 }
 
-// EpistemeContext returns the model-checking context for the stack's EBA
-// context (exhaustive SO(T) enumeration at horizon T+2).
-func (s Stack) EpistemeContext() episteme.Context {
-	return episteme.Context{Exchange: s.Exchange, T: s.T, Horizon: s.Horizon()}
-}
-
-// BuildSystem builds the stack's interpreted system by exhaustive
-// enumeration (small n and t only).
-func (s Stack) BuildSystem() (*episteme.System, error) {
-	return episteme.BuildSystem(s.EpistemeContext(), s.Action)
+// AtHorizon returns a copy of the stack whose execution horizon is h
+// (h <= 0 restores the default t+2). It lets callers that assemble a
+// Stack literally — rather than through NewStack — run at a non-default
+// horizon; the episteme model checker drives its enumerations through
+// this.
+func (s Stack) AtHorizon(h int) Stack {
+	if h < 0 {
+		h = 0
+	}
+	s.horizon = h
+	return s
 }
 
 // Scenario is one (pattern, inits) input shared by corresponding runs.

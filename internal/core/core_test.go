@@ -82,12 +82,18 @@ func TestRunScenariosPropagatesError(t *testing.T) {
 	}
 }
 
-func TestBuildSystemViaStack(t *testing.T) {
-	sys, err := Min(3, 1).BuildSystem()
-	if err != nil {
-		t.Fatal(err)
+func TestAtHorizon(t *testing.T) {
+	st := Min(3, 1)
+	if got := st.Horizon(); got != 3 {
+		t.Fatalf("default horizon %d, want t+2 = 3", got)
 	}
-	if len(sys.Runs) == 0 {
-		t.Error("empty system")
+	if got := st.AtHorizon(5).Horizon(); got != 5 {
+		t.Errorf("AtHorizon(5).Horizon() = %d, want 5", got)
+	}
+	if got := st.AtHorizon(5).AtHorizon(0).Horizon(); got != 3 {
+		t.Errorf("AtHorizon(0) did not restore the default: got %d, want 3", got)
+	}
+	if got := st.AtHorizon(-1).Horizon(); got != 3 {
+		t.Errorf("AtHorizon(-1) should clamp to the default: got %d, want 3", got)
 	}
 }

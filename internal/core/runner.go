@@ -129,15 +129,18 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*engine.Result, error) {
 // scenario k, so result sets of different stacks over the same scenario
 // list correspond run-by-run (the correspondence the paper's dominance
 // order is defined over). The first execution error, specification
-// violation, or context cancellation aborts the batch.
+// violation, or context cancellation aborts the batch: outstanding work
+// is cancelled with that first error as the context cause, so workers
+// stop promptly instead of draining the remaining scenarios.
 func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) ([]*engine.Result, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 
 	out := make([]*engine.Result, len(scenarios))
 	done := 0
 	for oc := range r.Stream(ctx, scenarios) {
 		if oc.Err != nil {
+			cancel(oc.Err)
 			return nil, oc.Err
 		}
 		out[oc.Index] = oc.Result

@@ -220,10 +220,12 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 // pool and returns the results in scenario order, like RunBatch without
 // the scenario slice: result k corresponds to the source's k-th scenario.
 // The first execution error, specification violation, or context
-// cancellation aborts the run.
+// cancellation aborts the run: outstanding work is cancelled with that
+// first error as the context cause, so in-flight scenarios stop promptly
+// and nothing further is pulled from the source.
 func (r *Runner) RunSource(ctx context.Context, src Source) ([]*engine.Result, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 
 	var out []*engine.Result
 	if c, ok := src.Count(); ok && c >= 0 {
@@ -236,6 +238,7 @@ func (r *Runner) RunSource(ctx context.Context, src Source) ([]*engine.Result, e
 	}
 	for oc := range r.StreamFrom(ctx, src) {
 		if oc.Err != nil {
+			cancel(oc.Err)
 			return nil, oc.Err
 		}
 		out = append(out, oc.Result)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -295,5 +296,77 @@ func TestCancellationCausePropagates(t *testing.T) {
 	cancelPlain()
 	if _, err := NewRunner(st).RunBatch(plain, streamScenarios(4, st.Horizon(), 4)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunBatch on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// failingExecutor errors on the scenario whose inits encode failAt and
+// counts every Execute call, so tests can assert how much work ran.
+type failingExecutor struct {
+	inner  engine.Executor
+	failAt int
+	err    error
+	calls  atomic.Int64
+}
+
+func (f *failingExecutor) Name() string { return "failing" }
+
+func (f *failingExecutor) Execute(cfg engine.Config, buf *engine.Buffers) (*engine.Result, error) {
+	f.calls.Add(1)
+	idx := 0
+	for i, v := range cfg.Inits {
+		idx |= int(v) << i
+	}
+	if idx == f.failAt {
+		return nil, f.err
+	}
+	return f.inner.Execute(cfg, buf)
+}
+
+// TestRunSourceFailsFast pins the fail-fast contract that replaced the
+// episteme model checker's private worker pool (whose workers kept
+// draining the whole configuration list after the first engine error):
+// the first execution error cancels outstanding work via the context
+// cause, so the source stops being pulled and the pool stops executing
+// long before the sweep is exhausted.
+func TestRunSourceFailsFast(t *testing.T) {
+	const total, failAt, workers = 512, 5, 4
+	st := MustStack("min", WithN(10), WithT(0))
+	boom := errors.New("boom")
+	exec := &failingExecutor{inner: engine.Sequential{}, failAt: failAt, err: boom}
+	src := &countingSource{scenarios: streamScenarios(10, 2, total)}
+	runner := NewRunner(st, WithExecutor(exec), WithParallelism(workers))
+
+	_, err := runner.RunSource(context.Background(), src)
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunSource error = %v, want the executor's error", err)
+	}
+	// The ordered stream may have dispatched up to a reordering window of
+	// scenarios beyond the failure before the error was emitted; anything
+	// close to the full sweep means cancellation did not propagate.
+	window := 2 * workers
+	bound := failAt + 2*window + workers + 1
+	if got := exec.calls.Load(); int(got) > bound {
+		t.Errorf("executor ran %d scenarios after a failure at %d (bound %d): fail-slow", got, failAt, bound)
+	}
+	if pulled := src.pulledSoFar(); pulled > bound {
+		t.Errorf("source was pulled %d times after a failure at %d (bound %d)", pulled, failAt, bound)
+	}
+}
+
+// TestRunBatchCancelsWithCause checks RunBatch cancels outstanding work
+// with the first error as the context cause.
+func TestRunBatchCancelsWithCause(t *testing.T) {
+	const total, failAt = 256, 3
+	st := MustStack("min", WithN(10), WithT(0))
+	boom := errors.New("boom")
+	exec := &failingExecutor{inner: engine.Sequential{}, failAt: failAt, err: boom}
+	runner := NewRunner(st, WithExecutor(exec), WithParallelism(4))
+
+	_, err := runner.RunBatch(context.Background(), streamScenarios(10, 2, total))
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunBatch error = %v, want the executor's error", err)
+	}
+	if got := exec.calls.Load(); got > total/2 {
+		t.Errorf("executor ran %d of %d scenarios after an early failure: fail-slow", got, total)
 	}
 }

@@ -1,6 +1,7 @@
 package episteme
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/exchange"
@@ -123,12 +124,12 @@ func TestMemberNAndDecided(t *testing.T) {
 func TestCheckOptimalityDetectsSlowProtocol(t *testing.T) {
 	// Covered more fully in E9; here: the violations mention the failing
 	// direction so the reports are actionable.
-	sys, err := BuildSystem(Context{Exchange: exchange.NewFIP(3), T: 1},
+	sys, err := BuildSystem(context.Background(), Context{Exchange: exchange.NewFIP(3), T: 1},
 		slowFIPAction{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs := sys.CheckOptimalityFIP(-1, 1)
+	vs := checkOptimality(t, sys, -1, 1)
 	if len(vs) == 0 {
 		t.Fatal("a never-deciding protocol cannot satisfy the optimality characterization")
 	}

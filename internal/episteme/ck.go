@@ -1,7 +1,9 @@
 package episteme
 
 import (
+	"context"
 	"math/bits"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -9,9 +11,10 @@ import (
 // cnLayer is the condensation of one time slice's C_N accessibility
 // graph: q → q' iff some agent j nonfaulty at q cannot distinguish q from
 // q'. To keep the edge count linear, the graph routes through class nodes:
-// run r → class(j, key_j(r)) for each j ∈ N(r), and class(j, key) → every
-// run in that class. Strongly connected components are condensed; queries
-// then walk the DAG.
+// run r → class(j, class_j(r)) for each j ∈ N(r), and class(j, c) → every
+// run in that class. The class nodes are the interned index's classes, so
+// assembling the graph is pure integer arithmetic. Strongly connected
+// components are condensed; queries then walk the DAG.
 type cnLayer struct {
 	// comp maps each run to its component id.
 	comp []int
@@ -20,49 +23,78 @@ type cnLayer struct {
 	// members lists the runs in each component (class-node components may
 	// be empty).
 	members [][]int
-	// reach caches, per source component, the closure of reachable runs.
+	// reach caches, per source component, the closure of reachable runs;
+	// mu guards it. Closures are pure functions of the layer, so a racing
+	// duplicate computation is benign (first store wins).
+	mu    sync.RWMutex
 	reach map[int][]int
 }
 
-// cnLayerAt builds (and memoizes) the condensation for time m.
-func (s *System) cnLayerAt(m int) *cnLayer {
-	if s.cnLayers == nil {
-		s.cnLayers = make(map[int]*cnLayer)
-	}
-	if l, ok := s.cnLayers[m]; ok {
-		return l
-	}
+// cnSlot builds one time slice's layer exactly once.
+type cnSlot struct {
+	once  sync.Once
+	layer *cnLayer
+}
 
-	// Assemble the node set: runs, then class nodes.
-	type classID struct {
-		agent int
-		key   string
+// cnLayerAt returns (building and memoizing on first use) the
+// condensation for time m. Safe for concurrent use; concurrent callers
+// for different times build their layers in parallel.
+func (s *System) cnLayerAt(m int) *cnLayer {
+	s.cnMu.Lock()
+	if s.cn == nil {
+		s.cn = make(map[int]*cnSlot)
 	}
-	classIdx := make(map[classID]int)
-	adj := make([][]int, len(s.Runs))
-	var classRuns [][]int
-	nodeOf := func(c classID) int {
-		if id, ok := classIdx[c]; ok {
-			return id
+	sl := s.cn[m]
+	if sl == nil {
+		sl = new(cnSlot)
+		s.cn[m] = sl
+	}
+	s.cnMu.Unlock()
+	sl.once.Do(func() { sl.layer = s.buildCNLayer(m) })
+	return sl.layer
+}
+
+// prebuildCN builds the condensations of times 0..Horizon-1 — the slices
+// CheckImplements' point loop (bounded by m < Horizon) can query — over
+// the worker pool, so a subsequent sharded check never serializes on
+// layer construction. The final time slice stays lazy: only direct
+// CNReachable/formula queries at time Horizon need it.
+func (s *System) prebuildCN(ctx context.Context) error {
+	return s.parallel(ctx, s.Horizon, func(m int) { s.cnLayerAt(m) })
+}
+
+// buildCNLayer assembles and condenses the time-m accessibility graph.
+// Nodes are the runs followed by every index class of the slice (classes
+// no nonfaulty agent carries stay unreachable from runs and are
+// harmless); edges come straight from the interned index.
+func (s *System) buildCNLayer(m int) *cnLayer {
+	n := s.N
+	runs := len(s.Runs)
+
+	// base[i] is the node id of agent i's class 0; classes of slot (m, i)
+	// occupy [base[i], base[i+1]).
+	base := make([]int, n+1)
+	base[0] = runs
+	for i := 0; i < n; i++ {
+		base[i+1] = base[i] + len(s.classRuns[m*n+i])
+	}
+	adj := make([][]int, base[n])
+	for i := 0; i < n; i++ {
+		slot := m*n + i
+		for c, members := range s.classRuns[slot] {
+			adj[base[i]+c] = members
 		}
-		id := len(s.Runs) + len(classRuns)
-		classIdx[c] = id
-		classRuns = append(classRuns, s.SameState(model.AgentID(c.agent), m, c.key))
-		adj = append(adj, nil)
-		return id
 	}
 	for r := range s.Runs {
-		p := Point{Run: r, Time: m}
-		for i := 0; i < s.N; i++ {
-			id := model.AgentID(i)
-			if !s.Nonfaulty(id, p) {
+		pat := s.Runs[r].Pattern
+		var outs []int
+		for i := 0; i < n; i++ {
+			if !pat.Nonfaulty(model.AgentID(i)) {
 				continue
 			}
-			adj[r] = append(adj[r], nodeOf(classID{agent: i, key: s.Key(id, p)}))
+			outs = append(outs, base[i]+int(s.classOf[m*n+i][r]))
 		}
-	}
-	for c, runs := range classRuns {
-		adj[len(s.Runs)+c] = runs
+		adj[r] = outs
 	}
 
 	comp := tarjanSCC(adj)
@@ -73,7 +105,7 @@ func (s *System) cnLayerAt(m int) *cnLayer {
 		}
 	}
 	layer := &cnLayer{
-		comp:    comp[:len(s.Runs)],
+		comp:    comp[:runs],
 		next:    make([][]int, nComp),
 		members: make([][]int, nComp),
 		reach:   make(map[int][]int),
@@ -93,7 +125,6 @@ func (s *System) cnLayerAt(m int) *cnLayer {
 		c := comp[r]
 		layer.members[c] = append(layer.members[c], r)
 	}
-	s.cnLayers[m] = layer
 	return layer
 }
 
@@ -164,17 +195,11 @@ func tarjanSCC(adj [][]int) []int {
 	return comp
 }
 
-// CNReachable returns the runs whose time-p.Time points are reachable from
-// p in one or more steps of the C_N accessibility relation. Reachability
-// is served from the per-time condensation; closures are cached per
-// source component.
-func (s *System) CNReachable(p Point) []int {
-	layer := s.cnLayerAt(p.Time)
-	src := layer.comp[p.Run]
-	if out, ok := layer.reach[src]; ok {
-		return out
-	}
-	visited := make(map[int]bool)
+// computeReach walks the condensation DAG from src, collecting the runs
+// of every reachable component. Pure: it reads only immutable layer
+// state.
+func (l *cnLayer) computeReach(src int) []int {
+	visited := make([]bool, len(l.next))
 	var out []int
 	var stack []int
 	push := func(c int) {
@@ -192,12 +217,35 @@ func (s *System) CNReachable(p Point) []int {
 	for len(stack) > 0 {
 		c := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		out = append(out, layer.members[c]...)
-		for _, d := range layer.next[c] {
+		out = append(out, l.members[c]...)
+		for _, d := range l.next[c] {
 			push(d)
 		}
 	}
-	layer.reach[src] = out
+	return out
+}
+
+// CNReachable returns the runs whose time-p.Time points are reachable from
+// p in one or more steps of the C_N accessibility relation. Reachability
+// is served from the per-time condensation; closures are cached per
+// source component. Safe for concurrent use.
+func (s *System) CNReachable(p Point) []int {
+	layer := s.cnLayerAt(p.Time)
+	src := layer.comp[p.Run]
+	layer.mu.RLock()
+	out, ok := layer.reach[src]
+	layer.mu.RUnlock()
+	if ok {
+		return out
+	}
+	out = layer.computeReach(src)
+	layer.mu.Lock()
+	if prev, ok := layer.reach[src]; ok {
+		out = prev
+	} else {
+		layer.reach[src] = out
+	}
+	layer.mu.Unlock()
 	return out
 }
 

@@ -1,6 +1,7 @@
 package episteme
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/action"
@@ -23,7 +24,7 @@ func TestBuildSystemShape(t *testing.T) {
 }
 
 func TestBuildSystemValidation(t *testing.T) {
-	if _, err := BuildSystem(Context{}, nil); err == nil {
+	if _, err := BuildSystem(context.Background(), Context{}, nil); err == nil {
 		t.Error("empty context accepted")
 	}
 }
@@ -134,7 +135,7 @@ func TestDecidedValAndDeciding(t *testing.T) {
 func TestProposition64SafetyMin(t *testing.T) {
 	// Proposition 6.4: P0 is safe with respect to γ_min (n=3, t=1; n−t≥2).
 	sys := buildMin(t, 3, 1)
-	if vs := sys.CheckSafety(3); len(vs) != 0 {
+	if vs := checkSafety(t, sys, 3); len(vs) != 0 {
 		t.Errorf("safety violations in γ_min: %v", vs)
 	}
 }
@@ -142,7 +143,7 @@ func TestProposition64SafetyMin(t *testing.T) {
 func TestProposition64SafetyBasic(t *testing.T) {
 	// Proposition 6.4: P0 is safe with respect to γ_basic (n=3, t=1).
 	sys := buildBasic(t, 3, 1)
-	if vs := sys.CheckSafety(3); len(vs) != 0 {
+	if vs := checkSafety(t, sys, 3); len(vs) != 0 {
 		t.Errorf("safety violations in γ_basic: %v", vs)
 	}
 }
@@ -152,7 +153,7 @@ func TestSafetyFailsForFIP(t *testing.T) {
 	// full-information context: an agent can learn about a 0 without
 	// receiving a 0-chain, so clause (1) must fail somewhere.
 	sys := buildFIP(t, 3, 1, 0)
-	if vs := sys.CheckSafety(1); len(vs) == 0 {
+	if vs := checkSafety(t, sys, 1); len(vs) == 0 {
 		t.Error("expected a safety violation in the full-information context")
 	}
 }
@@ -162,7 +163,7 @@ func TestTheorem75OptimalityPopt(t *testing.T) {
 	// characterization with respect to γ_fip (n=3, t=1). Checked at every
 	// point the trace determines.
 	sys := buildFIP(t, 3, 1, 0)
-	if vs := sys.CheckOptimalityFIP(-1, 5); len(vs) != 0 {
+	if vs := checkOptimality(t, sys, -1, 5); len(vs) != 0 {
 		for _, v := range vs {
 			t.Errorf("optimality violation: %s", v)
 		}
@@ -173,11 +174,11 @@ func TestPminIsNotOptimalInFIPContext(t *testing.T) {
 	// Running P_min's decision rule over the full-information exchange is
 	// correct but NOT optimal: the characterization must fail (Example
 	// 7.1 in miniature).
-	sys, err := BuildSystem(Context{Exchange: exchange.NewFIP(3), T: 1}, action.NewMin(1))
+	sys, err := BuildSystem(context.Background(), Context{Exchange: exchange.NewFIP(3), T: 1}, action.NewMin(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vs := sys.CheckOptimalityFIP(-1, 1); len(vs) == 0 {
+	if vs := checkOptimality(t, sys, -1, 1); len(vs) == 0 {
 		t.Error("Pmin unexpectedly satisfies the FIP optimality characterization")
 	}
 }
@@ -186,8 +187,8 @@ func TestSynthesizeP0MatchesPmin(t *testing.T) {
 	// Epistemic synthesis (§8 outlook): extracting a concrete protocol
 	// from P0 in γ_min reproduces P_min exactly — Theorem 6.5 from the
 	// synthesis side.
-	ctx := Context{Exchange: exchange.NewMin(3), T: 1}
-	synth, sys, err := Synthesize(ctx, P0)
+	c := Context{Exchange: exchange.NewMin(3), T: 1}
+	synth, sys, err := Synthesize(context.Background(), c, P0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,14 +209,14 @@ func TestSynthesizeP0MatchesPmin(t *testing.T) {
 	}
 	// The synthesized system is self-consistent: its own actions implement
 	// the program.
-	if ms := sys.CheckImplements(P0, 3); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P0, 3); len(ms) != 0 {
 		t.Errorf("synthesized system does not implement P0: %v", ms[0])
 	}
 }
 
 func TestSynthesizeP0MatchesPbasic(t *testing.T) {
-	ctx := Context{Exchange: exchange.NewBasic(3), T: 1}
-	synth, sys, err := Synthesize(ctx, P0)
+	c := Context{Exchange: exchange.NewBasic(3), T: 1}
+	synth, sys, err := Synthesize(context.Background(), c, P0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,8 +237,8 @@ func TestSynthesizeP0MatchesPbasic(t *testing.T) {
 func TestSynthesizeP1MatchesPopt(t *testing.T) {
 	// Synthesis from P1 over the full-information exchange re-derives the
 	// polynomial-time P_opt: Theorem A.21 from the synthesis side.
-	ctx := Context{Exchange: exchange.NewFIP(3), T: 1}
-	synth, sys, err := Synthesize(ctx, P1)
+	c := Context{Exchange: exchange.NewFIP(3), T: 1}
+	synth, sys, err := Synthesize(context.Background(), c, P1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestSynthesizeP1MatchesPopt(t *testing.T) {
 			}
 		}
 	}
-	if ms := sys.CheckImplements(P1, 3); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P1, 3); len(ms) != 0 {
 		t.Errorf("synthesized P1 system is not self-consistent: %v", ms[0])
 	}
 }
@@ -261,7 +262,7 @@ func TestSynthesizeP1MatchesPopt(t *testing.T) {
 func TestSynthesizedRunsUnderEngine(t *testing.T) {
 	// The synthesized protocol is a real ActionProtocol: run it under the
 	// engine on a pattern from its context and check it decides like Pmin.
-	synth, _, err := Synthesize(Context{Exchange: exchange.NewMin(3), T: 1}, P0)
+	synth, _, err := Synthesize(context.Background(), Context{Exchange: exchange.NewMin(3), T: 1}, P0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestSynthesizedRunsUnderEngine(t *testing.T) {
 }
 
 func TestSynthesizedPanicsOutsideContext(t *testing.T) {
-	synth, _, err := Synthesize(Context{Exchange: exchange.NewMin(2), T: 0, Horizon: 2}, P0)
+	synth, _, err := Synthesize(context.Background(), Context{Exchange: exchange.NewMin(2), T: 0, Horizon: 2}, P0)
 	if err != nil {
 		t.Fatal(err)
 	}

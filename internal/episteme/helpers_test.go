@@ -1,0 +1,37 @@
+package episteme
+
+import (
+	"context"
+	"testing"
+)
+
+// The checker wrappers below keep the theorem tests focused on verdicts:
+// they run a checker with a background context and fail the test on an
+// infrastructure error (which none of these checks should produce).
+
+func checkImplements(t *testing.T, sys *System, prog Program, max int) []Mismatch {
+	t.Helper()
+	ms, err := sys.CheckImplements(context.Background(), prog, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func checkSafety(t *testing.T, sys *System, max int) []string {
+	t.Helper()
+	vs, err := sys.CheckSafety(context.Background(), max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func checkOptimality(t *testing.T, sys *System, maxTime, max int) []string {
+	t.Helper()
+	vs, err := sys.CheckOptimalityFIP(context.Background(), maxTime, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}

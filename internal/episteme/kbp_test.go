@@ -1,6 +1,7 @@
 package episteme
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/action"
@@ -11,7 +12,7 @@ import (
 
 func buildMin(t *testing.T, n, tf int) *System {
 	t.Helper()
-	sys, err := BuildSystem(Context{Exchange: exchange.NewMin(n), T: tf}, action.NewMin(tf))
+	sys, err := BuildSystem(context.Background(), Context{Exchange: exchange.NewMin(n), T: tf}, action.NewMin(tf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func buildMin(t *testing.T, n, tf int) *System {
 
 func buildBasic(t *testing.T, n, tf int) *System {
 	t.Helper()
-	sys, err := BuildSystem(Context{Exchange: exchange.NewBasic(n), T: tf}, action.NewBasic(n))
+	sys, err := BuildSystem(context.Background(), Context{Exchange: exchange.NewBasic(n), T: tf}, action.NewBasic(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func buildBasic(t *testing.T, n, tf int) *System {
 
 func buildFIP(t *testing.T, n, tf int, horizon int) *System {
 	t.Helper()
-	sys, err := BuildSystem(Context{Exchange: exchange.NewFIP(n), T: tf, Horizon: horizon},
+	sys, err := BuildSystem(context.Background(), Context{Exchange: exchange.NewFIP(n), T: tf, Horizon: horizon},
 		action.NewOpt(tf))
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +43,7 @@ func TestTheorem65PminImplementsP0(t *testing.T) {
 	// every reachable local state over every SO(1) pattern and every
 	// initial assignment.
 	sys := buildMin(t, 3, 1)
-	if ms := sys.CheckImplements(P0, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P0, 5); len(ms) != 0 {
 		for _, m := range ms {
 			t.Errorf("mismatch: %s", m)
 		}
@@ -54,7 +55,7 @@ func TestTheorem65PminImplementsP0N4(t *testing.T) {
 		t.Skip("short mode")
 	}
 	sys := buildMin(t, 4, 1)
-	if ms := sys.CheckImplements(P0, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P0, 5); len(ms) != 0 {
 		for _, m := range ms {
 			t.Errorf("mismatch: %s", m)
 		}
@@ -64,7 +65,7 @@ func TestTheorem65PminImplementsP0N4(t *testing.T) {
 func TestTheorem66PbasicImplementsP0(t *testing.T) {
 	// Theorem 6.6: P_basic implements P0 in γ_basic (n=3, t=1).
 	sys := buildBasic(t, 3, 1)
-	if ms := sys.CheckImplements(P0, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P0, 5); len(ms) != 0 {
 		for _, m := range ms {
 			t.Errorf("mismatch: %s", m)
 		}
@@ -74,7 +75,7 @@ func TestTheorem66PbasicImplementsP0(t *testing.T) {
 func TestTheoremA21PoptImplementsP1(t *testing.T) {
 	// Theorem A.21: P_opt implements P1 in γ_fip (n=3, t=1).
 	sys := buildFIP(t, 3, 1, 0)
-	if ms := sys.CheckImplements(P1, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P1, 5); len(ms) != 0 {
 		for _, m := range ms {
 			t.Errorf("mismatch: %s", m)
 		}
@@ -90,16 +91,16 @@ func TestOptNoCKImplementsP0OverFIP(t *testing.T) {
 	// protocol implements both; the programs genuinely diverge only for
 	// t ≥ 2 (experiment E15 exhibits the round-5 vs round-3 gap at
 	// n=8, t=3, which is beyond exhaustive checking).
-	sys, err := BuildSystem(Context{Exchange: exchange.NewFIP(3), T: 1}, action.NewOptNoCK(1))
+	sys, err := BuildSystem(context.Background(), Context{Exchange: exchange.NewFIP(3), T: 1}, action.NewOptNoCK(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ms := sys.CheckImplements(P0, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P0, 5); len(ms) != 0 {
 		for _, m := range ms {
 			t.Errorf("mismatch vs P0: %s", m)
 		}
 	}
-	if ms := sys.CheckImplements(P1, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P1, 5); len(ms) != 0 {
 		for _, m := range ms {
 			t.Errorf("mismatch vs P1 (they coincide at t=1): %s", m)
 		}
@@ -145,7 +146,7 @@ func TestP0AndP1AgreeInLimitedContexts(t *testing.T) {
 	// Section 7: in the minimal and basic contexts agents never learn who
 	// is faulty, so the common-knowledge guards never fire and P1 ≡ P0.
 	sys := buildMin(t, 3, 1)
-	if ms := sys.CheckImplements(P1, 5); len(ms) != 0 {
+	if ms := checkImplements(t, sys, P1, 5); len(ms) != 0 {
 		t.Errorf("P1 differs from Pmin in γ_min: %v", ms[0])
 	}
 }

@@ -1,0 +1,320 @@
+package episteme
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	goruntime "runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/engine"
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// resultFingerprint renders everything observable about a run: pattern,
+// inits, full state-key and action traces, the decision ledger, and the
+// traffic stats. Two runs with equal fingerprints are interchangeable for
+// every checker.
+func resultFingerprint(res *engine.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pat=%s inits=%v dec=%v rounds=%v stats=%+v\n",
+		res.Pattern.Key(), res.Inits, res.Decision, res.DecisionRound, res.Stats)
+	for m := range res.States {
+		for i := range res.States[m] {
+			fmt.Fprintf(&b, "s[%d][%d]=%s\n", m, i, res.States[m][i].Key())
+		}
+	}
+	for m := range res.Actions {
+		fmt.Fprintf(&b, "a[%d]=%v\n", m, res.Actions[m])
+	}
+	return b.String()
+}
+
+func fipContext31() Context {
+	return Context{Exchange: exchange.NewFIP(3), T: 1}
+}
+
+// TestBuildSystemMatchesPlainEngine pins the memoizing executor against
+// the plain engine: every run of the system must be bit-identical to
+// executing its scenario through engine.Run.
+func TestBuildSystemMatchesPlainEngine(t *testing.T) {
+	sys, err := BuildSystem(context.Background(), fipContext31(), action.NewOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, res := range sys.Runs {
+		plain, err := engine.Run(engine.Config{
+			Exchange: exchange.NewFIP(3),
+			Action:   action.NewOpt(1),
+			Pattern:  res.Pattern,
+			Inits:    res.Inits,
+			Horizon:  sys.Horizon,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := resultFingerprint(res), resultFingerprint(plain); got != want {
+			t.Fatalf("run %d differs from the plain engine:\nmemo:\n%s\nplain:\n%s", ri, got, want)
+		}
+	}
+}
+
+// TestBuildSystemParallelismDeterminism checks BuildSystem is bit-identical
+// at parallelism 1 and GOMAXPROCS, run for run.
+func TestBuildSystemParallelismDeterminism(t *testing.T) {
+	ctxs := map[string]struct {
+		c   Context
+		act model.ActionProtocol
+	}{
+		"fip":   {fipContext31(), action.NewOpt(1)},
+		"min":   {Context{Exchange: exchange.NewMin(3), T: 1}, action.NewMin(1)},
+		"crash": {Context{Exchange: exchange.NewBasic(3), T: 1, Crash: true}, action.NewBasic(3)},
+	}
+	for name, tc := range ctxs {
+		seq, err := BuildSystem(context.Background(), tc.c, tc.act, WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildSystem(context.Background(), tc.c, tc.act, WithParallelism(goruntime.GOMAXPROCS(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Runs) != len(par.Runs) {
+			t.Fatalf("%s: %d vs %d runs", name, len(seq.Runs), len(par.Runs))
+		}
+		for r := range seq.Runs {
+			if resultFingerprint(seq.Runs[r]) != resultFingerprint(par.Runs[r]) {
+				t.Fatalf("%s: run %d differs between parallelism levels", name, r)
+			}
+		}
+	}
+}
+
+// TestCheckersParallelismDeterminism checks all three checkers return
+// identical reports at parallelism 1 and GOMAXPROCS — including on a
+// system with real violations (Pmin over Efip).
+func TestCheckersParallelismDeterminism(t *testing.T) {
+	var baselineMs, baselineVs, baselineOs string
+	for _, par := range []int{1, goruntime.GOMAXPROCS(0), 7} {
+		opts := []Option{WithParallelism(par)}
+		sys, err := BuildSystem(context.Background(), fipContext31(), action.NewMin(1), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := checkImplements(t, sys, P1, 0)
+		vs := checkSafety(t, sys, 0)
+		os := checkOptimality(t, sys, -1, 0)
+		if par == 1 {
+			baselineMs, baselineVs, baselineOs = fmt.Sprint(ms), fmt.Sprint(vs), fmt.Sprint(os)
+			if len(ms) == 0 || len(os) == 0 {
+				t.Fatal("expected real violations from Pmin over Efip; the determinism test is vacuous")
+			}
+			continue
+		}
+		if fmt.Sprint(ms) != baselineMs {
+			t.Errorf("par=%d: CheckImplements differs from sequential", par)
+		}
+		if fmt.Sprint(vs) != baselineVs {
+			t.Errorf("par=%d: CheckSafety differs from sequential", par)
+		}
+		if fmt.Sprint(os) != baselineOs {
+			t.Errorf("par=%d: CheckOptimalityFIP differs from sequential", par)
+		}
+	}
+}
+
+// TestSynthesizeParallelismDeterminism checks the fixpoint construction
+// is bit-identical at parallelism 1 and GOMAXPROCS.
+func TestSynthesizeParallelismDeterminism(t *testing.T) {
+	c := Context{Exchange: exchange.NewMin(3), T: 1}
+	seqSynth, seqSys, err := Synthesize(context.Background(), c, P0, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSynth, parSys, err := Synthesize(context.Background(), c, P0, WithParallelism(goruntime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqSynth.Size() != parSynth.Size() {
+		t.Fatalf("table sizes differ: %d vs %d", seqSynth.Size(), parSynth.Size())
+	}
+	for k, a := range seqSynth.table {
+		if parSynth.table[k] != a {
+			t.Fatalf("table entry %q differs: %v vs %v", k, a, parSynth.table[k])
+		}
+	}
+	for r := range seqSys.Runs {
+		if resultFingerprint(seqSys.Runs[r]) != resultFingerprint(parSys.Runs[r]) {
+			t.Fatalf("synthesized run %d differs between parallelism levels", r)
+		}
+	}
+}
+
+// TestCNReachableMatchesNaiveBFS is the differential test for the
+// interned condensation: on the fip n=3,t=1 system, CNReachable must
+// agree with a naive O(runs²) BFS over the definitional accessibility
+// relation (q → q' iff some agent j nonfaulty at q has the same local
+// state at both points).
+func TestCNReachableMatchesNaiveBFS(t *testing.T) {
+	sys, err := BuildSystem(context.Background(), fipContext31(), action.NewOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m <= sys.Horizon; m++ {
+		// Precompute keys and nonfaulty sets for the slice.
+		keys := make([][]string, len(sys.Runs))
+		for r := range sys.Runs {
+			keys[r] = make([]string, sys.N)
+			for i := 0; i < sys.N; i++ {
+				keys[r][i] = sys.Key(model.AgentID(i), Point{Run: r, Time: m})
+			}
+		}
+		edge := func(q, qp int) bool {
+			for j := 0; j < sys.N; j++ {
+				if sys.Runs[q].Pattern.Nonfaulty(model.AgentID(j)) && keys[q][j] == keys[qp][j] {
+					return true
+				}
+			}
+			return false
+		}
+		// BFS from a deterministic sample of sources (the relation is the
+		// same for every source in a class, so a spread sample suffices).
+		for src := 0; src < len(sys.Runs); src += 97 {
+			reach := make([]bool, len(sys.Runs))
+			var queue []int
+			for qp := 0; qp < len(sys.Runs); qp++ {
+				if edge(src, qp) && !reach[qp] {
+					reach[qp] = true
+					queue = append(queue, qp)
+				}
+			}
+			for len(queue) > 0 {
+				q := queue[0]
+				queue = queue[1:]
+				for qp := 0; qp < len(sys.Runs); qp++ {
+					if !reach[qp] && edge(q, qp) {
+						reach[qp] = true
+						queue = append(queue, qp)
+					}
+				}
+			}
+			var want []int
+			for qp, ok := range reach {
+				if ok {
+					want = append(want, qp)
+				}
+			}
+			got := append([]int(nil), sys.CNReachable(Point{Run: src, Time: m})...)
+			sort.Ints(got)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("time %d source %d: CNReachable %v, naive BFS %v", m, src, got, want)
+			}
+		}
+	}
+}
+
+// TestBuildSystemCancellation checks ctx cancellation aborts the build
+// with the cancellation cause.
+func TestBuildSystemCancellation(t *testing.T) {
+	cause := errors.New("operator gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := BuildSystem(ctx, fipContext31(), action.NewOpt(1)); !errors.Is(err, cause) {
+		t.Fatalf("BuildSystem error = %v, want the cancellation cause", err)
+	}
+	if _, _, err := Synthesize(ctx, Context{Exchange: exchange.NewMin(3), T: 1}, P0); !errors.Is(err, cause) {
+		t.Fatalf("Synthesize error = %v, want the cancellation cause", err)
+	}
+}
+
+// TestCheckerCancellation checks the checkers abort with the cancellation
+// cause.
+func TestCheckerCancellation(t *testing.T) {
+	sys, err := BuildSystem(context.Background(), fipContext31(), action.NewOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("deadline")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := sys.CheckImplements(ctx, P1, 0); !errors.Is(err, cause) {
+		t.Errorf("CheckImplements error = %v, want the cancellation cause", err)
+	}
+	if _, err := sys.CheckSafety(ctx, 0); !errors.Is(err, cause) {
+		t.Errorf("CheckSafety error = %v, want the cancellation cause", err)
+	}
+	if _, err := sys.CheckOptimalityFIP(ctx, -1, 0); !errors.Is(err, cause) {
+		t.Errorf("CheckOptimalityFIP error = %v, want the cancellation cause", err)
+	}
+}
+
+// TestTruncationNotices checks every checker reports the size of a
+// truncated tail instead of silently dropping it.
+func TestTruncationNotices(t *testing.T) {
+	// Pmin over Efip violates both the P1 implementation and the
+	// optimality characterization; P0 over Efip violates safety.
+	sys, err := BuildSystem(context.Background(), fipContext31(), action.NewMin(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all := checkImplements(t, sys, P1, 0)
+	capped := checkImplements(t, sys, P1, 1)
+	if len(all) < 2 {
+		t.Fatalf("expected ≥2 mismatches from Pmin/P1, got %d; truncation test is vacuous", len(all))
+	}
+	if len(capped) != 2 {
+		t.Fatalf("CheckImplements(max=1) returned %d entries, want 1 + notice", len(capped))
+	}
+	notice := capped[1]
+	if notice.More != len(all)-1 {
+		t.Errorf("notice.More = %d, want %d", notice.More, len(all)-1)
+	}
+	if !strings.Contains(notice.String(), "truncated") {
+		t.Errorf("notice renders as %q, want a truncation notice", notice.String())
+	}
+	if capped[0] != all[0] {
+		t.Error("capped prefix differs from the uncapped report")
+	}
+
+	allOpt := checkOptimality(t, sys, -1, 0)
+	cappedOpt := checkOptimality(t, sys, -1, 1)
+	if len(allOpt) <= 2 {
+		t.Fatalf("expected >2 optimality violations, got %d", len(allOpt))
+	}
+	if len(cappedOpt) != 2 || !strings.Contains(cappedOpt[1], "truncated") ||
+		!strings.Contains(cappedOpt[1], fmt.Sprint(len(allOpt)-1)) {
+		t.Errorf("CheckOptimalityFIP(max=1) = %v, want first violation + notice of %d more", cappedOpt, len(allOpt)-1)
+	}
+
+	fipP0, err := BuildSystem(context.Background(), fipContext31(), action.NewOptNoCK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allSafety := checkSafety(t, fipP0, 0)
+	cappedSafety := checkSafety(t, fipP0, 1)
+	if len(allSafety) <= 2 {
+		t.Fatalf("expected >2 safety violations in γ_fip, got %d", len(allSafety))
+	}
+	if len(cappedSafety) != 2 || !strings.Contains(cappedSafety[1], "truncated") {
+		t.Errorf("CheckSafety(max=1) = %v, want first violation + notice", cappedSafety)
+	}
+}
+
+// TestMemoExecFallback checks the n > 8 fallback to the plain engine:
+// the memo's packed keys cover at most 8 agents, so a 9-agent context
+// must still build (and still implement P0).
+func TestMemoExecFallback(t *testing.T) {
+	c := Context{Exchange: exchange.NewMin(9), T: 0, Horizon: 1}
+	sys, err := BuildSystem(context.Background(), c, action.NewMin(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 << 9; len(sys.Runs) != want {
+		t.Fatalf("got %d runs, want %d (one pattern × 2⁹ inits)", len(sys.Runs), want)
+	}
+}

@@ -15,65 +15,105 @@
 //     concrete action protocol from a knowledge-based program by fixpoint
 //     construction and export it as a runnable ActionProtocol.
 //
+// The checker is built in three sharded layers:
+//
+//   - Enumeration: runs stream from internal/source's pattern × inits
+//     product through core.Runner.RunSource — the same worker pool,
+//     cancellation, and ordering machinery every other sweep in the
+//     repository uses. Action decisions are memoized per local state
+//     across runs, so the thousands of runs that revisit a state pay for
+//     its analysis once.
+//   - Representation: local states are interned into dense class ids per
+//     (time, agent) slot at index-build time; every knowledge query after
+//     that is integer indexing, never string hashing. Index slots are
+//     built in parallel.
+//   - Evaluation: a System is safe for concurrent use, per-time C_N
+//     condensations build concurrently, and the checkers shard their
+//     point loops over a worker pool (WithParallelism) while reporting
+//     violations in the canonical enumeration order — results are
+//     bit-identical at every parallelism level.
+//
 // Everything here is exhaustive and therefore exponential in n, t, and the
 // horizon; it is meant for small parameter values (n ≤ 4, t ≤ 2), which is
 // where the paper's knowledge-theoretic claims are machine-checkable.
 package episteme
 
 import (
+	"context"
 	"fmt"
-	"runtime"
+	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/adversary"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/source"
 )
 
-// runParallel executes every configuration on all CPUs, writing results
-// into the slot matching the configuration's index.
-func runParallel(cfgs []engine.Config, out []*engine.Result) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+// Option tunes system construction and checking.
+type Option func(*options)
+
+type options struct {
+	par int
+}
+
+// WithParallelism sets the worker count used to execute runs, build the
+// index and the C_N condensations, and shard the checkers' point loops.
+// k <= 0 (and the default) means one worker per available CPU. Results
+// are independent of k: every parallel path reassembles its output in
+// the canonical enumeration order.
+func WithParallelism(k int) Option {
+	return func(o *options) { o.par = k }
+}
+
+func newOptions(opts []Option) options {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	if workers < 1 {
-		workers = 1
+	if o.par <= 0 {
+		o.par = goruntime.GOMAXPROCS(0)
 	}
-	var (
-		wg   sync.WaitGroup
-		next int
-		mu   sync.Mutex
-		errs []error
-	)
-	for w := 0; w < workers; w++ {
+	return o
+}
+
+// parallelDo runs fn(k) for every k in [0, count) over min(par, count)
+// workers, stopping early when ctx is cancelled. fn must be safe to call
+// concurrently and must write only to its own k-indexed slots; callers
+// reassemble deterministic output from those slots. It returns the
+// context's cancellation cause, or nil when every k ran.
+func parallelDo(ctx context.Context, par, count int, fn func(k int)) error {
+	if par > count {
+		par = count
+	}
+	if par <= 1 {
+		for k := 0; k < count; k++ {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			fn(k)
+		}
+		return context.Cause(ctx)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				k := next
-				next++
-				mu.Unlock()
-				if k >= len(cfgs) {
+			for ctx.Err() == nil {
+				k := int(next.Add(1)) - 1
+				if k >= count {
 					return
 				}
-				res, err := engine.Run(cfgs[k])
-				if err != nil {
-					mu.Lock()
-					errs = append(errs, err)
-					mu.Unlock()
-					return
-				}
-				out[k] = res
+				fn(k)
 			}
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return errs[0]
-	}
-	return nil
+	return context.Cause(ctx)
 }
 
 // Context describes the interpreted system to build: an EBA context
@@ -93,20 +133,40 @@ type Context struct {
 	Crash bool
 }
 
-// patternIter is the pull-style pattern stream both failure models
-// provide (adversary.SOPatterns, adversary.CrashPatterns).
-type patternIter interface {
-	Next() (*model.Pattern, bool)
+// ContextFor returns the model-checking context of a stack's EBA context:
+// exhaustive enumeration of the stack's failure model at its execution
+// horizon.
+func ContextFor(s core.Stack) Context {
+	return Context{Exchange: s.Exchange, T: s.T, Horizon: s.Horizon()}
 }
 
-// patterns returns the context's failure-pattern iterator. Rejected
+func (c Context) horizonOrDefault() int {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	return c.T + 2
+}
+
+// patternSource returns the context's failure-pattern stream. Rejected
 // enumeration bounds (too many drop slots, Options.MaxPatterns exceeded)
 // surface as errors instead of the deprecated enumerators' panics.
-func (ctx Context) patterns(n, horizon int) (patternIter, error) {
-	if ctx.Crash {
-		return adversary.NewCrashPatterns(n, ctx.T, horizon)
+func (c Context) patternSource(n, horizon int) (source.Patterns, error) {
+	if c.Crash {
+		return source.Crash(n, c.T, horizon)
 	}
-	return adversary.NewSOPatterns(n, ctx.T, horizon, ctx.Options)
+	return source.SO(n, c.T, horizon, c.Options)
+}
+
+// scenarioSource returns the streaming pattern × inits product both
+// BuildSystem and Synthesize enumerate the system's runs from — the one
+// definition of the run skeletons, shared so the two constructions cannot
+// drift.
+func (c Context) scenarioSource(n, horizon int) (core.Source, error) {
+	pats, err := c.patternSource(n, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return source.CrossInits(pats, n)
 }
 
 // Point is a point (run, time) of an interpreted system.
@@ -118,84 +178,206 @@ type Point struct {
 }
 
 // System is an interpreted system: every run of one action protocol under
-// every admissible failure pattern and initial assignment, with an index
-// from local states to the points carrying them.
+// every admissible failure pattern and initial assignment, with an
+// interned index from local states to the points carrying them. After
+// construction a System is immutable apart from internal synchronized
+// caches, so it is safe for concurrent use — the checkers shard their
+// loops over a worker pool.
 type System struct {
 	// N is the number of agents, T the failure bound, Horizon the number
 	// of rounds.
 	N, T, Horizon int
 	// Runs holds every enumerated run.
 	Runs []*engine.Result
-	// index[m*N+i][key] lists the runs whose agent i has local state key
-	// `key` at time m.
-	index []map[string][]int
-	// cnLayers caches the per-time condensations of the C_N
-	// accessibility graph. A System is not safe for concurrent use.
-	cnLayers map[int]*cnLayer
+
+	// par is the checker worker count (resolved, >= 1).
+	par int
+
+	// Interned local-state index. A slot is a (time, agent) pair,
+	// slot = m*N + i; within a slot, runs carrying the same local state
+	// form a class identified by a dense int:
+	//
+	//	classOf[slot][run]    → the run's class id in the slot
+	//	classRuns[slot][c]    → the runs of class c, ascending
+	//	classKey[slot][c]     → the class's local-state key
+	//	classGlobal[slot][c]  → system-wide dense id of that key, shared
+	//	                        across slots (cross-time state identity)
+	//	byKey[slot]           → key → class id (string lookups only)
+	classOf     [][]int32
+	classRuns   [][][]int
+	classKey    [][]string
+	classGlobal [][]int32
+	byKey       []map[string]int32
+	globalByKey map[string]int32
+
+	// cn lazily caches the per-time condensations of the C_N
+	// accessibility graph; cnMu guards the map, each slot builds once.
+	cnMu sync.Mutex
+	cn   map[int]*cnSlot
+}
+
+// parallelism returns the checker worker count (>= 1 even on Systems
+// assembled literally in tests).
+func (s *System) parallelism() int {
+	if s.par < 1 {
+		return 1
+	}
+	return s.par
+}
+
+// parallel shards fn over the system's worker pool.
+func (s *System) parallel(ctx context.Context, count int, fn func(k int)) error {
+	return parallelDo(ctx, s.parallelism(), count, fn)
 }
 
 // BuildSystem enumerates every run of the action protocol in the context
-// and indexes the local states. Runs execute on all available CPUs; the
-// resulting order is deterministic (enumeration order).
-func BuildSystem(ctx Context, act model.ActionProtocol) (*System, error) {
-	if ctx.Exchange == nil || act == nil {
+// and indexes the local states. Runs stream from the shared scenario
+// source through a core.Runner worker pool (WithParallelism tunes it);
+// the resulting order is deterministic (enumeration order) and
+// bit-identical at every parallelism level. The first execution error or
+// ctx cancellation aborts the build, cancelling outstanding work via the
+// context cause.
+func BuildSystem(ctx context.Context, c Context, act model.ActionProtocol, opts ...Option) (*System, error) {
+	if c.Exchange == nil || act == nil {
 		return nil, fmt.Errorf("episteme: Exchange and action protocol are required")
 	}
-	n := ctx.Exchange.N()
-	horizon := ctx.Horizon
-	if horizon <= 0 {
-		horizon = ctx.T + 2
-	}
-	sys := &System{N: n, T: ctx.T, Horizon: horizon}
+	o := newOptions(opts)
+	n := c.Exchange.N()
+	horizon := c.horizonOrDefault()
 
-	// Enumerate the configurations first, then execute them in parallel
-	// into pre-assigned slots so the run order stays deterministic.
-	pats, err := ctx.patterns(n, horizon)
+	src, err := c.scenarioSource(n, horizon)
 	if err != nil {
 		return nil, err
 	}
-	var cfgs []engine.Config
-	for pat, ok := pats.Next(); ok; pat, ok = pats.Next() {
-		p := pat.Clone()
-		inits, err := adversary.NewInitVectors(n)
-		if err != nil {
-			return nil, err
-		}
-		for iv, ok := inits.Next(); ok; iv, ok = inits.Next() {
-			cfgs = append(cfgs, engine.Config{
-				Exchange: ctx.Exchange,
-				Action:   act,
-				Pattern:  p,
-				Inits:    append([]model.Value(nil), iv...),
-				Horizon:  horizon,
-			})
-		}
-	}
-
-	sys.Runs = make([]*engine.Result, len(cfgs))
-	if err := runParallel(cfgs, sys.Runs); err != nil {
+	stack := core.Stack{
+		Name:     "episteme(" + act.Name() + ")",
+		Exchange: c.Exchange,
+		Action:   act,
+		N:        n,
+		T:        c.T,
+	}.AtHorizon(horizon)
+	runner := core.NewRunner(stack,
+		core.WithExecutor(newMemoExec(n)),
+		core.WithParallelism(o.par),
+		core.WithBufferReuse())
+	runs, err := runner.RunSource(ctx, src)
+	if err != nil {
 		return nil, err
 	}
 
-	sys.index = make([]map[string][]int, (horizon+1)*n)
-	for slot := range sys.index {
-		sys.index[slot] = make(map[string][]int)
-	}
-	for ri, res := range sys.Runs {
-		for m := 0; m <= horizon; m++ {
-			for i := 0; i < n; i++ {
-				key := res.States[m][i].Key()
-				slot := m*n + i
-				sys.index[slot][key] = append(sys.index[slot][key], ri)
-			}
-		}
+	sys := &System{N: n, T: c.T, Horizon: horizon, Runs: runs, par: o.par}
+	if err := sys.buildIndex(ctx, 0, horizon+1); err != nil {
+		return nil, err
 	}
 	return sys, nil
 }
 
+// buildIndex interns the local states of times [m0, m1): each (time,
+// agent) slot is built by one worker (slots are independent), then the
+// new classes are folded into the system-wide key interning sequentially.
+// Synthesize grows the index one time slice per round; BuildSystem builds
+// all slices at once.
+func (s *System) buildIndex(ctx context.Context, m0, m1 int) error {
+	n := s.N
+	if s.classOf == nil {
+		nSlots := (s.Horizon + 1) * n
+		s.classOf = make([][]int32, nSlots)
+		s.classRuns = make([][][]int, nSlots)
+		s.classKey = make([][]string, nSlots)
+		s.classGlobal = make([][]int32, nSlots)
+		s.byKey = make([]map[string]int32, nSlots)
+		s.globalByKey = make(map[string]int32)
+	}
+	err := parallelDo(ctx, s.parallelism(), m1-m0, func(k int) {
+		m := m0 + k
+		// The memoizing executor aliases identical state rows across
+		// runs, so group runs by row identity first: the string-keyed
+		// interning then runs once per distinct row instead of once per
+		// run. Systems without aliasing (Synthesize's skeletons) just
+		// see one group per run.
+		rowOf := make([]int32, len(s.Runs))
+		rowRep := make([]int, 0, 64)
+		rowIdx := make(map[*model.State]int32, len(s.Runs))
+		for r, res := range s.Runs {
+			row := res.States[m]
+			head := &row[0]
+			g, ok := rowIdx[head]
+			if !ok {
+				g = int32(len(rowRep))
+				rowIdx[head] = g
+				rowRep = append(rowRep, r)
+			}
+			rowOf[r] = g
+		}
+		for i := 0; i < n; i++ {
+			slot := m*n + i
+			byKey := make(map[string]int32, len(rowRep))
+			classOfRow := make([]int32, len(rowRep))
+			var classKey []string
+			for g, rep := range rowRep {
+				key := s.Runs[rep].States[m][i].Key()
+				c, ok := byKey[key]
+				if !ok {
+					c = int32(len(classKey))
+					byKey[key] = c
+					classKey = append(classKey, key)
+				}
+				classOfRow[g] = c
+			}
+			classOf := make([]int32, len(s.Runs))
+			classRuns := make([][]int, len(classKey))
+			for r := range s.Runs {
+				c := classOfRow[rowOf[r]]
+				classOf[r] = c
+				classRuns[c] = append(classRuns[c], r)
+			}
+			s.classOf[slot] = classOf
+			s.classRuns[slot] = classRuns
+			s.classKey[slot] = classKey
+			s.byKey[slot] = byKey
+		}
+	})
+	if err != nil {
+		return err
+	}
+	lo, hi := m0*n, m1*n
+	for slot := lo; slot < hi; slot++ {
+		keys := s.classKey[slot]
+		global := make([]int32, len(keys))
+		for c, key := range keys {
+			id, ok := s.globalByKey[key]
+			if !ok {
+				id = int32(len(s.globalByKey))
+				s.globalByKey[key] = id
+			}
+			global[c] = id
+		}
+		s.classGlobal[slot] = global
+	}
+	return nil
+}
+
+// slot returns the index slot of agent i at time m.
+func (s *System) slot(i model.AgentID, m int) int { return m*s.N + int(i) }
+
+// classAt returns the dense class id of agent i's local state at (run, m).
+func (s *System) classAt(i model.AgentID, m, run int) int32 {
+	return s.classOf[s.slot(i, m)][run]
+}
+
+// runsOfClass returns the runs of class c in agent i's time-m slot. The
+// returned slice is shared; do not mutate.
+func (s *System) runsOfClass(i model.AgentID, m int, c int32) []int {
+	return s.classRuns[s.slot(i, m)][c]
+}
+
 // Key returns agent i's local-state key at point p.
 func (s *System) Key(i model.AgentID, p Point) string {
-	return s.Runs[p.Run].States[p.Time][i].Key()
+	if s.classKey == nil {
+		return s.Runs[p.Run].States[p.Time][i].Key()
+	}
+	slot := s.slot(i, p.Time)
+	return s.classKey[slot][s.classOf[slot][p.Run]]
 }
 
 // State returns agent i's local state at point p.
@@ -207,12 +389,17 @@ func (s *System) State(i model.AgentID, p Point) model.State {
 // state key: the ~_i equivalence class. The returned slice is shared; do
 // not mutate.
 func (s *System) SameState(i model.AgentID, m int, key string) []int {
-	return s.index[m*s.N+int(i)][key]
+	slot := s.slot(i, m)
+	c, ok := s.byKey[slot][key]
+	if !ok {
+		return nil
+	}
+	return s.classRuns[slot][c]
 }
 
 // Class returns the points agent i cannot distinguish from p.
 func (s *System) Class(i model.AgentID, p Point) []Point {
-	runs := s.SameState(i, p.Time, s.Key(i, p))
+	runs := s.runsOfClass(i, p.Time, s.classAt(i, p.Time, p.Run))
 	out := make([]Point, len(runs))
 	for k, r := range runs {
 		out[k] = Point{Run: r, Time: p.Time}
@@ -223,7 +410,7 @@ func (s *System) Class(i model.AgentID, p Point) []Point {
 // Knows evaluates K_i φ at p: φ holds at every point i cannot distinguish
 // from p.
 func (s *System) Knows(i model.AgentID, p Point, phi func(Point) bool) bool {
-	for _, r := range s.SameState(i, p.Time, s.Key(i, p)) {
+	for _, r := range s.runsOfClass(i, p.Time, s.classAt(i, p.Time, p.Run)) {
 		if !phi(Point{Run: r, Time: p.Time}) {
 			return false
 		}
@@ -309,4 +496,10 @@ func (s *System) Points(maxTime int, fn func(Point)) {
 			fn(Point{Run: r, Time: m})
 		}
 	}
+}
+
+// truncated renders the standard truncation notice the checkers append
+// when a violation cap cuts the report short.
+func truncated(n int, what string) string {
+	return fmt.Sprintf("... and %d more %s (truncated)", n, what)
 }

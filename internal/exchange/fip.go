@@ -111,8 +111,7 @@ func (e *FIP) Messages(_ model.AgentID, s model.State, a model.Action) []model.M
 // memory and is not subject to the adversary (footnote 3 of the paper).
 func (e *FIP) Update(i model.AgentID, s model.State, a model.Action, received []model.Message) model.State {
 	st := s.(FIPState)
-	ng := st.g.Clone()
-	ng.Extend()
+	ng := st.g.CloneExtended()
 	for j := 0; j < e.n; j++ {
 		jj := model.AgentID(j)
 		if jj == i {

@@ -6,9 +6,10 @@ type Config struct {
 	Seed int64
 	// Trials is the number of random runs per randomized experiment.
 	Trials int
-	// Parallelism is the batch worker count for the scenario sweeps
-	// (0 = one worker per CPU). It never changes the numbers: batches are
-	// deterministic and order-preserving.
+	// Parallelism is the worker count for the scenario sweeps and the
+	// exhaustive model checks (0 = one worker per CPU). It never changes
+	// the numbers: batches are deterministic and order-preserving, and
+	// the model checker reassembles its reports in enumeration order.
 	Parallelism int
 	// SkipSlow skips the exhaustive model-checking experiments (E6–E10,
 	// E14), which take tens of seconds.
@@ -30,11 +31,11 @@ func Generators(cfg Config) []func() *Table {
 	}
 	if !cfg.SkipSlow {
 		gens = append(gens,
-			E6ImplementsMin,
-			E7ImplementsBasic,
-			E8ImplementsFIP,
-			E9Optimality,
-			E10Safety,
+			func() *Table { return E6ImplementsMin(cfg.Parallelism) },
+			func() *Table { return E7ImplementsBasic(cfg.Parallelism) },
+			func() *Table { return E8ImplementsFIP(cfg.Parallelism) },
+			func() *Table { return E9Optimality(cfg.Parallelism) },
+			func() *Table { return E10Safety(cfg.Parallelism) },
 		)
 	}
 	gens = append(gens,
@@ -43,7 +44,7 @@ func Generators(cfg Config) []func() *Table {
 		E13CrashVsOmission,
 	)
 	if !cfg.SkipSlow {
-		gens = append(gens, E14Synthesis)
+		gens = append(gens, func() *Table { return E14Synthesis(cfg.Parallelism) })
 	}
 	gens = append(gens,
 		E15CommonKnowledgeAblation,

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	goruntime "runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/episteme"
+	"repro/internal/exchange"
+)
+
+// EpistemeBenchEntry is one measured model-checking workload: building
+// the exhaustive γ_fip system and machine-checking Theorem A.21 on it.
+type EpistemeBenchEntry struct {
+	// Name identifies the workload, e.g. "fip_n3_t1".
+	Name string `json:"name"`
+	// N and T are the context parameters.
+	N int `json:"n"`
+	T int `json:"t"`
+	// Runs is the size of the enumerated system.
+	Runs int `json:"runs"`
+	// BuildSeconds is the median BuildSystem wall-clock.
+	BuildSeconds float64 `json:"build_seconds"`
+	// CheckImplementsSeconds is the median cold CheckImplements(P1)
+	// wall-clock (including the C_N condensation builds).
+	CheckImplementsSeconds float64 `json:"check_implements_seconds"`
+	// Mismatches must be 0: the benchmark doubles as a theorem check.
+	Mismatches int `json:"mismatches"`
+}
+
+// EpistemeBench is the perf trajectory record ebabench emits as
+// BENCH_episteme.json: the model checker's wall-clock on the reference
+// workloads, alongside the pre-refactor baseline measured on the same
+// class of workload so the speedup is visible in one file.
+type EpistemeBench struct {
+	// GoMaxProcs is the worker budget the measurements ran with.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Parallelism is the requested checker parallelism (0 = one worker
+	// per CPU).
+	Parallelism int `json:"parallelism"`
+	// Reps is the number of repetitions the medians are taken over.
+	Reps int `json:"reps"`
+	// Entries holds the measured workloads.
+	Entries []EpistemeBenchEntry `json:"entries"`
+	// Baseline holds reference wall-clocks of the pre-sharding checker
+	// (PR 2's sequential enumeration and string-keyed index), keyed by
+	// entry name, for trajectory comparison. Populated by the harness
+	// that recorded them; empty when no baseline is known.
+	Baseline map[string]EpistemeBenchBaseline `json:"baseline,omitempty"`
+}
+
+// EpistemeBenchBaseline is a reference measurement of the pre-sharding
+// checker.
+type EpistemeBenchBaseline struct {
+	BuildSeconds           float64 `json:"build_seconds"`
+	CheckImplementsSeconds float64 `json:"check_implements_seconds"`
+	// Host describes where the baseline was recorded.
+	Host string `json:"host,omitempty"`
+}
+
+// BenchEpisteme measures BuildSystem + CheckImplements on the fip
+// contexts n=3,t=1 and n=4,t=1 (the reference workloads of the model
+// checker's perf trajectory), taking the median of reps repetitions.
+// Every repetition builds a fresh system, so the check includes the C_N
+// condensation cost.
+func BenchEpisteme(parallelism, reps int) (*EpistemeBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	bench := &EpistemeBench{
+		GoMaxProcs:  goruntime.GOMAXPROCS(0),
+		Parallelism: parallelism,
+		Reps:        reps,
+		Baseline:    epistemeBaseline,
+	}
+	ctx := context.Background()
+	for _, size := range []struct{ n, t int }{{3, 1}, {4, 1}} {
+		entry := EpistemeBenchEntry{
+			Name: benchName(size.n, size.t),
+			N:    size.n,
+			T:    size.t,
+		}
+		builds := make([]float64, 0, reps)
+		checks := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			sys, err := episteme.BuildSystem(ctx,
+				episteme.Context{Exchange: exchange.NewFIP(size.n), T: size.t},
+				action.NewOpt(size.t), episteme.WithParallelism(parallelism))
+			if err != nil {
+				return nil, err
+			}
+			builds = append(builds, time.Since(t0).Seconds())
+			t0 = time.Now()
+			ms, err := sys.CheckImplements(ctx, episteme.P1, 0)
+			if err != nil {
+				return nil, err
+			}
+			checks = append(checks, time.Since(t0).Seconds())
+			entry.Runs = len(sys.Runs)
+			entry.Mismatches = len(ms)
+		}
+		entry.BuildSeconds = median(builds)
+		entry.CheckImplementsSeconds = median(checks)
+		bench.Entries = append(bench.Entries, entry)
+	}
+	return bench, nil
+}
+
+func benchName(n, t int) string {
+	return "fip_n" + strconv.Itoa(n) + "_t" + strconv.Itoa(t)
+}
+
+// epistemeBaseline is the pre-sharding checker (PR 2's private worker
+// pool, fully materialized configuration slice, and string-keyed index)
+// measured on the reference workloads immediately before the PR 3
+// refactor — median of 3 on a single-core container, Go 1.25. Kept here
+// so every BENCH_episteme.json carries the trajectory's starting point.
+var epistemeBaseline = map[string]EpistemeBenchBaseline{
+	"fip_n3_t1": {BuildSeconds: 0.0256, CheckImplementsSeconds: 0.0099, Host: "single-core container, pre-refactor seed"},
+	"fip_n4_t1": {BuildSeconds: 1.3382, CheckImplementsSeconds: 0.4456, Host: "single-core container, pre-refactor seed"},
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+// MarshalIndent renders the record as the JSON ebabench writes to disk.
+func (b *EpistemeBench) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}

@@ -84,8 +84,8 @@ func TestModelCheckingExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	for _, gen := range []func() *Table{E8ImplementsFIP, E9Optimality, E10Safety, E14Synthesis} {
-		if tb := gen(); !tb.Pass {
+	for _, gen := range []func(parallelism int) *Table{E8ImplementsFIP, E9Optimality, E10Safety, E14Synthesis} {
+		if tb := gen(0); !tb.Pass {
 			t.Fatalf("%s failed:\n%s", tb.ID, tb.Render())
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/action"
@@ -10,13 +11,29 @@ import (
 	"repro/internal/model"
 )
 
+// checkOpts translates the experiments' Parallelism knob into model
+// checker options (0 = one worker per CPU; the numbers never change, only
+// the wall-clock).
+func checkOpts(parallelism int) []episteme.Option {
+	return []episteme.Option{episteme.WithParallelism(parallelism)}
+}
+
+// buildStackSystem builds the interpreted system of a stack's EBA context
+// over the model checker's worker pool.
+func buildStackSystem(st core.Stack, parallelism int) (*episteme.System, error) {
+	return episteme.BuildSystem(context.Background(), episteme.ContextFor(st), st.Action, checkOpts(parallelism)...)
+}
+
 // implementsRow model-checks one implementation theorem and appends a row.
-func implementsRow(t *Table, label string, st core.Stack, prog episteme.Program) {
-	sys, err := st.BuildSystem()
+func implementsRow(t *Table, label string, st core.Stack, prog episteme.Program, parallelism int) {
+	sys, err := buildStackSystem(st, parallelism)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", label, err))
 	}
-	ms := sys.CheckImplements(prog, 3)
+	ms, err := sys.CheckImplements(context.Background(), prog, 0)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", label, err))
+	}
 	if len(ms) != 0 {
 		t.Pass = false
 	}
@@ -26,7 +43,7 @@ func implementsRow(t *Table, label string, st core.Stack, prog episteme.Program)
 // E6ImplementsMin machine-checks Theorem 6.5: P_min implements the
 // knowledge-based program P0 in γ_min, over every SO(t) failure pattern
 // and every initial assignment.
-func E6ImplementsMin() *Table {
+func E6ImplementsMin(parallelism int) *Table {
 	t := &Table{
 		ID:      "E6",
 		Title:   "Pmin implements P0 in γ_min (exhaustive model check)",
@@ -34,14 +51,14 @@ func E6ImplementsMin() *Table {
 		Columns: []string{"context", "runs", "mismatches"},
 		Pass:    true,
 	}
-	implementsRow(t, "γ_min(n=3,t=1)", core.Min(3, 1), episteme.P0)
-	implementsRow(t, "γ_min(n=4,t=1)", core.Min(4, 1), episteme.P0)
+	implementsRow(t, "γ_min(n=3,t=1)", core.Min(3, 1), episteme.P0, parallelism)
+	implementsRow(t, "γ_min(n=4,t=1)", core.Min(4, 1), episteme.P0, parallelism)
 	return t
 }
 
 // E7ImplementsBasic machine-checks Theorem 6.6: P_basic implements P0 in
 // γ_basic.
-func E7ImplementsBasic() *Table {
+func E7ImplementsBasic(parallelism int) *Table {
 	t := &Table{
 		ID:      "E7",
 		Title:   "Pbasic implements P0 in γ_basic (exhaustive model check)",
@@ -49,8 +66,8 @@ func E7ImplementsBasic() *Table {
 		Columns: []string{"context", "runs", "mismatches"},
 		Pass:    true,
 	}
-	implementsRow(t, "γ_basic(n=3,t=1)", core.Basic(3, 1), episteme.P0)
-	implementsRow(t, "γ_basic(n=4,t=1)", core.Basic(4, 1), episteme.P0)
+	implementsRow(t, "γ_basic(n=3,t=1)", core.Basic(3, 1), episteme.P0, parallelism)
+	implementsRow(t, "γ_basic(n=4,t=1)", core.Basic(4, 1), episteme.P0, parallelism)
 	return t
 }
 
@@ -58,7 +75,7 @@ func E7ImplementsBasic() *Table {
 // polynomial-time P_opt implements the knowledge-based program P1 in the
 // full-information context, with the common-knowledge guards evaluated
 // semantically.
-func E8ImplementsFIP() *Table {
+func E8ImplementsFIP(parallelism int) *Table {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Popt implements P1 in γ_fip (exhaustive model check)",
@@ -66,14 +83,14 @@ func E8ImplementsFIP() *Table {
 		Columns: []string{"context", "runs", "mismatches"},
 		Pass:    true,
 	}
-	implementsRow(t, "γ_fip(n=3,t=1)", core.FIP(3, 1), episteme.P1)
+	implementsRow(t, "γ_fip(n=3,t=1)", core.FIP(3, 1), episteme.P1, parallelism)
 	return t
 }
 
 // E9Optimality machine-checks Theorem 7.5's characterization of optimal
 // full-information protocols: P_opt satisfies both equivalences; P_min
 // run over the full-information exchange (correct but slower) does not.
-func E9Optimality() *Table {
+func E9Optimality(parallelism int) *Table {
 	t := &Table{
 		ID:      "E9",
 		Title:   "Theorem 7.5 optimality characterization over γ_fip",
@@ -81,22 +98,29 @@ func E9Optimality() *Table {
 		Columns: []string{"protocol", "runs", "violations", "expected"},
 		Pass:    true,
 	}
-	sysOpt, err := core.FIP(3, 1).BuildSystem()
+	ctx := context.Background()
+	sysOpt, err := buildStackSystem(core.FIP(3, 1), parallelism)
 	if err != nil {
 		panic(err)
 	}
-	vsOpt := sysOpt.CheckOptimalityFIP(-1, 3)
+	vsOpt, err := sysOpt.CheckOptimalityFIP(ctx, -1, 0)
+	if err != nil {
+		panic(err)
+	}
 	if len(vsOpt) != 0 {
 		t.Pass = false
 	}
 	t.AddRow("Popt", len(sysOpt.Runs), len(vsOpt), 0)
 
-	sysMin, err := episteme.BuildSystem(
-		episteme.Context{Exchange: exchange.NewFIP(3), T: 1}, action.NewMin(1))
+	sysMin, err := episteme.BuildSystem(ctx,
+		episteme.Context{Exchange: exchange.NewFIP(3), T: 1}, action.NewMin(1), checkOpts(parallelism)...)
 	if err != nil {
 		panic(err)
 	}
-	vsMin := sysMin.CheckOptimalityFIP(-1, 3)
+	vsMin, err := sysMin.CheckOptimalityFIP(ctx, -1, 0)
+	if err != nil {
+		panic(err)
+	}
 	if len(vsMin) == 0 {
 		t.Pass = false
 	}
@@ -109,7 +133,7 @@ func E9Optimality() *Table {
 // E10Safety machine-checks Proposition 6.4: the knowledge-based program
 // P0 is safe (Definition 6.2) with respect to γ_min and γ_basic, and —
 // per the Section 6 remark — NOT safe with respect to full information.
-func E10Safety() *Table {
+func E10Safety(parallelism int) *Table {
 	t := &Table{
 		ID:      "E10",
 		Title:   "safety condition of Definition 6.2",
@@ -126,11 +150,14 @@ func E10Safety() *Table {
 		{"γ_basic(3,1)", core.Basic(3, 1), "0"},
 		{"γ_fip(3,1)", core.FIP(3, 1), ">0"},
 	} {
-		sys, err := c.st.BuildSystem()
+		sys, err := buildStackSystem(c.st, parallelism)
 		if err != nil {
 			panic(err)
 		}
-		vs := sys.CheckSafety(3)
+		vs, err := sys.CheckSafety(context.Background(), 0)
+		if err != nil {
+			panic(err)
+		}
 		ok := (c.expect == "0") == (len(vs) == 0)
 		if !ok {
 			t.Pass = false
@@ -143,7 +170,7 @@ func E10Safety() *Table {
 // E14Synthesis exercises the epistemic-synthesis direction of Section 8:
 // extracting concrete protocols from P0 by fixpoint construction and
 // comparing them with the hand-written implementations.
-func E14Synthesis() *Table {
+func E14Synthesis(parallelism int) *Table {
 	t := &Table{
 		ID:      "E14",
 		Title:   "epistemic synthesis of concrete protocols from P0",
@@ -158,7 +185,8 @@ func E14Synthesis() *Table {
 		{"γ_min(3,1)", core.Min(3, 1)},
 		{"γ_basic(3,1)", core.Basic(3, 1)},
 	} {
-		synth, sys, err := episteme.Synthesize(c.st.EpistemeContext(), episteme.P0)
+		synth, sys, err := episteme.Synthesize(context.Background(),
+			episteme.ContextFor(c.st), episteme.P0, checkOpts(parallelism)...)
 		if err != nil {
 			panic(err)
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -61,6 +62,10 @@ type Graph struct {
 	// edges[k][int(i)*n+int(j)] labels the edge (i,k) → (j,k+1), i.e. the
 	// message from i to j in round k+1, for k in [0, m).
 	edges [][]Label
+	// key caches the canonical fingerprint; every mutator invalidates it.
+	// Atomic so concurrent readers of a quiescent graph (the model
+	// checker's worker pool) may race benignly on the first computation.
+	key atomic.Pointer[string]
 }
 
 // New returns the time-0 communication graph of the given agent: no edges,
@@ -105,7 +110,19 @@ func (g *Graph) SetPref(j model.AgentID, v model.Value) {
 	if g.prefs[j].IsSet() && g.prefs[j] != v {
 		panic(fmt.Sprintf("graph: conflicting preference labels for agent %d", j))
 	}
-	g.prefs[j] = v
+	if g.prefs[j] != v {
+		g.prefs[j] = v
+		g.invalidateKey()
+	}
+}
+
+// invalidateKey drops the cached fingerprint; the Load guard keeps
+// already-invalid graphs (the common case inside a merge loop) free of
+// atomic stores.
+func (g *Graph) invalidateKey() {
+	if g.key.Load() != nil {
+		g.key.Store(nil)
+	}
 }
 
 // Edge returns the label of the edge (i,k) → (j,k+1): the message from i
@@ -131,13 +148,39 @@ func (g *Graph) SetEdge(k int, i, j model.AgentID, l Label) {
 	if *slot != Unknown && *slot != l {
 		panic(fmt.Sprintf("graph: conflicting labels for edge (%d,%d)→(%d,%d)", i, k, j, k+1))
 	}
-	*slot = l
+	if *slot != l {
+		*slot = l
+		g.invalidateKey()
+	}
 }
 
 // Extend appends one round of Unknown edges, advancing M by one.
 func (g *Graph) Extend() {
 	g.edges = append(g.edges, make([]Label, g.n*g.n))
 	g.m++
+	g.invalidateKey()
+}
+
+// CloneExtended is Clone followed by Extend in one backing allocation:
+// the per-round hot path of the full-information exchange, which clones
+// the owner's graph and opens the next round every Update.
+func (g *Graph) CloneExtended() *Graph {
+	sz := g.n * g.n
+	flat := make([]Label, (g.m+1)*sz)
+	h := &Graph{
+		owner: g.owner,
+		n:     g.n,
+		m:     g.m + 1,
+		prefs: append([]model.Value(nil), g.prefs...),
+		edges: make([][]Label, g.m+1),
+	}
+	for k := range g.edges {
+		row := flat[k*sz : (k+1)*sz : (k+1)*sz]
+		copy(row, g.edges[k])
+		h.edges[k] = row
+	}
+	h.edges[g.m] = flat[g.m*sz : (g.m+1)*sz : (g.m+1)*sz]
+	return h
 }
 
 // Clone returns a deep copy (with the same owner).
@@ -152,6 +195,7 @@ func (g *Graph) Clone() *Graph {
 	for k := range g.edges {
 		h.edges[k] = append([]Label(nil), g.edges[k]...)
 	}
+	h.key.Store(g.key.Load())
 	return h
 }
 
@@ -160,6 +204,7 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) CloneFor(owner model.AgentID) *Graph {
 	h := g.Clone()
 	h.owner = owner
+	h.key.Store(nil)
 	return h
 }
 
@@ -173,18 +218,34 @@ func (g *Graph) Merge(other *Graph) {
 	if other.m > g.m {
 		panic("graph: Merge of a graph from the future")
 	}
+	changed := false
 	for j := 0; j < g.n; j++ {
-		if v := other.prefs[j]; v.IsSet() {
-			g.SetPref(model.AgentID(j), v)
+		v := other.prefs[j]
+		if !v.IsSet() || g.prefs[j] == v {
+			continue
 		}
+		if g.prefs[j].IsSet() {
+			panic(fmt.Sprintf("graph: conflicting preference labels for agent %d", j))
+		}
+		g.prefs[j] = v
+		changed = true
 	}
 	for k := 0; k < other.m; k++ {
+		dst := g.edges[k]
 		for idx, l := range other.edges[k] {
-			if l == Unknown {
+			if l == Unknown || dst[idx] == l {
 				continue
 			}
-			g.SetEdge(k, model.AgentID(idx/g.n), model.AgentID(idx%g.n), l)
+			if dst[idx] != Unknown {
+				panic(fmt.Sprintf("graph: conflicting labels for edge (%d,%d)→(%d,%d)",
+					idx/g.n, k, idx%g.n, k+1))
+			}
+			dst[idx] = l
+			changed = true
 		}
+	}
+	if changed {
+		g.invalidateKey()
 	}
 }
 
@@ -197,8 +258,20 @@ func (g *Graph) Bits() int {
 }
 
 // Key returns a canonical fingerprint. Two full-information local states
-// are indistinguishable iff their graphs have equal keys.
+// are indistinguishable iff their graphs have equal keys. The fingerprint
+// is computed once and cached until the next mutation; the model
+// checker's index, its memoized action evaluation, and the synthesis
+// table all ask for the same graph's key.
 func (g *Graph) Key() string {
+	if k := g.key.Load(); k != nil {
+		return *k
+	}
+	k := g.computeKey()
+	g.key.Store(&k)
+	return k
+}
+
+func (g *Graph) computeKey() string {
 	var b strings.Builder
 	b.Grow(16 + g.n + g.n*g.n*g.m)
 	b.WriteString(strconv.Itoa(int(g.owner)))

@@ -293,3 +293,39 @@ func TestNewRefValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestKeyCacheInvalidation(t *testing.T) {
+	g := New(0, 3)
+	k0 := g.Key()
+	if g.Key() != k0 {
+		t.Fatal("cached key differs from first computation")
+	}
+	g.SetPref(1, model.One)
+	k1 := g.Key()
+	if k1 == k0 {
+		t.Fatal("SetPref did not invalidate the key cache")
+	}
+	g.Extend()
+	k2 := g.Key()
+	if k2 == k1 {
+		t.Fatal("Extend did not invalidate the key cache")
+	}
+	g.SetEdge(0, 0, 1, Sent)
+	k3 := g.Key()
+	if k3 == k2 {
+		t.Fatal("SetEdge did not invalidate the key cache")
+	}
+	// Clone shares content, so it may share the cached key; CloneFor
+	// changes the owner, so its key must differ.
+	if g.Clone().Key() != k3 {
+		t.Error("Clone key differs from the original")
+	}
+	if g.CloneFor(2).Key() == k3 {
+		t.Error("CloneFor key should differ (owner is part of the fingerprint)")
+	}
+	// Re-setting an already-known label must not change the key.
+	g.SetEdge(0, 0, 1, Sent)
+	if g.Key() != k3 {
+		t.Error("idempotent SetEdge changed the key")
+	}
+}

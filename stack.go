@@ -1,6 +1,8 @@
 package eba
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/episteme"
 	"repro/internal/registry"
@@ -76,7 +78,9 @@ type Synthesized = episteme.Synthesized
 // Synthesize derives a concrete action protocol from the knowledge-based
 // program by exhaustive epistemic fixpoint construction over the stack's
 // EBA context (the "epistemic synthesis" direction of the paper's
-// discussion). Exponential: small n and t only.
-func Synthesize(stack Stack, prog Program) (*Synthesized, *System, error) {
-	return episteme.Synthesize(stack.EpistemeContext(), prog)
+// discussion). Exponential: small n and t only. ctx cancels the
+// construction; WithCheckParallelism tunes the worker pool it shards
+// over.
+func Synthesize(ctx context.Context, stack Stack, prog Program, opts ...CheckOption) (*Synthesized, *System, error) {
+	return episteme.Synthesize(ctx, episteme.ContextFor(stack), prog, opts...)
 }

@@ -205,16 +205,22 @@ func BenchmarkE13CrashVsOmission(b *testing.B) {
 	// One exhaustive naive-protocol sweep over SO(1), n=3.
 	st := stack(b, "naive", 3, 1)
 	for i := 0; i < b.N; i++ {
-		adversary.EnumerateSO(3, 1, 3, adversary.Options{}, func(pat *model.Pattern) bool {
+		pats, err := adversary.NewSOPatterns(3, 1, 3, adversary.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for pat, ok := pats.Next(); ok; pat, ok = pats.Next() {
 			p := pat.Clone()
-			adversary.EnumerateInits(3, func(inits []model.Value) bool {
+			ivs, err := adversary.NewInitVectors(3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for inits, ok2 := ivs.Next(); ok2; inits, ok2 = ivs.Next() {
 				if _, err := st.Run(p, append([]model.Value(nil), inits...)); err != nil {
 					b.Fatal(err)
 				}
-				return true
-			})
-			return true
-		})
+			}
+		}
 	}
 }
 
@@ -301,30 +307,50 @@ func BenchmarkRunnerBatch(b *testing.B) {
 }
 
 // BenchmarkEngineBufferReuse isolates the allocation savings of the
-// reusable scratch buffers on single runs.
+// reusable scratch buffers — plain and arena-backed — on single runs of
+// the min and fip stacks. CI runs it with -benchtime=1x as a smoke test
+// so allocation regressions on the hot path fail loudly; the calibrated
+// numbers live in BENCH_engine.json (ebabench -bench-engine).
 func BenchmarkEngineBufferReuse(b *testing.B) {
-	n, tf := 16, 4
-	st := stack(b, "min", n, tf)
-	pat := adversary.FailureFree(n, tf+2)
-	inits := adversary.UniformInits(n, model.One)
-	cfg := st.Config(pat, inits)
-	b.Run("fresh", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := engine.Run(cfg); err != nil {
-				b.Fatal(err)
+	cases := []struct {
+		stackName string
+		n, tf     int
+	}{
+		{"min", 16, 4},
+		{"fip", 8, 2},
+	}
+	for _, c := range cases {
+		st := stack(b, c.stackName, c.n, c.tf)
+		pat := adversary.Example71(c.n, c.tf, c.tf+2)
+		inits := adversary.UniformInits(c.n, model.One)
+		cfg := st.Config(pat, inits)
+		b.Run(c.stackName+"/fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("reused", func(b *testing.B) {
-		b.ReportAllocs()
-		buf := engine.NewBuffers()
-		for i := 0; i < b.N; i++ {
-			if _, err := engine.RunBuffered(cfg, buf); err != nil {
-				b.Fatal(err)
+		})
+		b.Run(c.stackName+"/reused", func(b *testing.B) {
+			b.ReportAllocs()
+			buf := engine.NewBuffers()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunBuffered(cfg, buf); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+		b.Run(c.stackName+"/arena", func(b *testing.B) {
+			b.ReportAllocs()
+			buf := engine.NewArenaBuffers()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunBuffered(cfg, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkGraphMergeAndKey(b *testing.B) {

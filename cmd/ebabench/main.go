@@ -12,6 +12,13 @@
 // n=4,t=1) and writes the perf-trajectory record — including the
 // pre-sharding baseline — to the given JSON file.
 //
+// With -bench-engine it measures the execution engine's reference
+// workloads (the exhaustive fip n=4,t=1 horizon sweep and a min n=8,t=2
+// random batch) with arena-backed buffers off and on, writes the record
+// — including the pre-arena baseline — to the given JSON file, and fails
+// unless the arenas cut allocations per op by at least 2× against that
+// baseline.
+//
 // Usage:
 //
 //	ebabench                  # everything, including the model checks
@@ -19,6 +26,7 @@
 //	ebabench -trials 2000     # more random trials
 //	ebabench -parallel 4      # 4 workers for sweeps and model checking
 //	ebabench -bench-episteme BENCH_episteme.json
+//	ebabench -bench-engine BENCH_engine.json
 package main
 
 import (
@@ -45,7 +53,8 @@ func run(args []string) error {
 		parallel  = fs.Int("parallel", 0, "workers for the scenario sweeps and model checks (0 = one per CPU)")
 		skipSlow  = fs.Bool("skip-slow", false, "skip the exhaustive model-checking experiments")
 		benchOut  = fs.String("bench-episteme", "", "measure the model checker's reference workloads and write the perf record to this JSON file (skips the experiment tables)")
-		benchReps = fs.Int("bench-reps", 3, "repetitions per workload for -bench-episteme (medians are reported)")
+		engineOut = fs.String("bench-engine", "", "measure the engine's reference workloads with arenas off/on and write the perf record to this JSON file (skips the experiment tables)")
+		benchReps = fs.Int("bench-reps", 3, "repetitions per workload for -bench-episteme / -bench-engine (medians are reported)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +62,9 @@ func run(args []string) error {
 
 	if *benchOut != "" {
 		return benchEpisteme(*benchOut, *parallel, *benchReps)
+	}
+	if *engineOut != "" {
+		return benchEngine(*engineOut, *benchReps)
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallelism: *parallel, SkipSlow: *skipSlow}
@@ -76,6 +88,39 @@ func run(args []string) error {
 	}
 	fmt.Println("all experiments reproduce the paper's claims")
 	return nil
+}
+
+// benchEngine measures the engine's reference workloads with arenas off
+// and on, writes the perf-trajectory record, and enforces the arena
+// acceptance bar (≥ 2× fewer allocs/op than the pre-arena baseline).
+func benchEngine(path string, reps int) error {
+	fmt.Printf("benchmarking the engine hot path (reps=%d)...\n", reps)
+	bench, err := experiments.BenchEngine(reps)
+	if err != nil {
+		return err
+	}
+	for _, e := range bench.Entries {
+		mode := "arenas=off"
+		if e.Arenas {
+			mode = "arenas=on "
+		}
+		line := fmt.Sprintf("  %-18s %s runs=%d ns/op=%d B/op=%d allocs/op=%d",
+			e.Name, mode, e.Runs, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		if base, ok := bench.Baseline[e.Name]; ok && e.Arenas && e.AllocsPerOp > 0 {
+			line += fmt.Sprintf("  (%.1fx fewer allocs than pre-arena baseline)",
+				float64(base.AllocsPerOp)/float64(e.AllocsPerOp))
+		}
+		fmt.Println(line)
+	}
+	data, err := bench.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return bench.CheckAcceptance()
 }
 
 // benchEpisteme measures the model checker's reference workloads and

@@ -109,47 +109,6 @@ const (
 	ProgramP1 = episteme.P1
 )
 
-// Min returns the minimal protocol stack ⟨Emin(n), P_min⟩, optimal with
-// respect to the minimal information exchange (Corollary 6.7).
-//
-// Deprecated: use NewStack("min", WithN(n), WithT(t)).
-func Min(n, t int) Stack { return core.Min(n, t) }
-
-// Basic returns the basic protocol stack ⟨Ebasic(n), P_basic⟩, optimal
-// with respect to the basic information exchange (Corollary 6.7).
-//
-// Deprecated: use NewStack("basic", WithN(n), WithT(t)).
-func Basic(n, t int) Stack { return core.Basic(n, t) }
-
-// FIP returns the full-information stack ⟨Efip(n), P_opt⟩, optimal with
-// respect to full information exchange (Corollary 7.8) and polynomial
-// time (Proposition 7.9).
-//
-// Deprecated: use NewStack("fip", WithN(n), WithT(t)).
-func FIP(n, t int) Stack { return core.FIP(n, t) }
-
-// FIPWithMin returns ⟨Efip(n), P_min⟩: the full-information exchange
-// driven by the minimal decision rule — full-information message costs
-// without the optimal decision times, the correct-but-dominated baseline
-// of the optimality experiments.
-//
-// Deprecated: use NewStack("fip+pmin", WithN(n), WithT(t)).
-func FIPWithMin(n, t int) Stack { return core.FIPWithMin(n, t) }
-
-// FIPNoCK returns the ablated full-information stack: P_opt without the
-// common-knowledge guards, i.e. the knowledge-based program P0 over full
-// information. Correct but not optimal.
-//
-// Deprecated: use NewStack("fip-nock", WithN(n), WithT(t)).
-func FIPNoCK(n, t int) Stack { return core.FIPNoCK(n, t) }
-
-// Naive returns the introduction's counterexample stack, which violates
-// Agreement under omission failures. Use it to reproduce the paper's
-// impossibility argument, not to reach agreement.
-//
-// Deprecated: use NewStack("naive", WithN(n), WithT(t)).
-func Naive(n, t int) Stack { return core.Naive(n, t) }
-
 // SO returns the sending-omissions failure model with at most t faults.
 func SO(t int) FailureModel { return model.SO(t) }
 

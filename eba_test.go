@@ -9,8 +9,18 @@ import (
 	eba "repro"
 )
 
+// mustStack builds a registered stack through the public constructor.
+func mustStack(t *testing.T, name string, n, tf int) eba.Stack {
+	t.Helper()
+	st, err := eba.NewStack(name, eba.WithN(n), eba.WithT(tf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestPublicQuickstart(t *testing.T) {
-	stack := eba.Basic(5, 2)
+	stack := mustStack(t, "basic", 5, 2)
 	pattern := eba.Silent(5, stack.Horizon(), 0)
 	inits := []eba.Value{eba.One, eba.One, eba.Zero, eba.One, eba.One}
 	res, err := stack.Run(pattern, inits)
@@ -50,16 +60,16 @@ func TestPublicPatternsAndModels(t *testing.T) {
 
 func TestPublicDominance(t *testing.T) {
 	n, tf := 4, 1
-	basic, min := eba.Basic(n, tf), eba.Min(n, tf)
+	basic, min := mustStack(t, "basic", n, tf), mustStack(t, "min", n, tf)
 	scenarios := []eba.Scenario{
 		{Pattern: eba.FailureFree(n, tf+2), Inits: eba.UniformInits(n, eba.One)},
 		{Pattern: eba.FailureFree(n, tf+2), Inits: []eba.Value{eba.Zero, eba.One, eba.One, eba.One}},
 	}
-	runsB, err := basic.RunScenarios(scenarios)
+	runsB, err := eba.NewRunner(basic, eba.WithBufferReuse()).RunBatch(context.Background(), scenarios)
 	if err != nil {
 		t.Fatal(err)
 	}
-	runsM, err := min.RunScenarios(scenarios)
+	runsM, err := eba.NewRunner(min, eba.WithBufferReuse()).RunBatch(context.Background(), scenarios)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +83,7 @@ func TestPublicDominance(t *testing.T) {
 }
 
 func TestPublicFIPStack(t *testing.T) {
-	stack := eba.FIP(6, 3)
+	stack := mustStack(t, "fip", 6, 3)
 	res, err := stack.Run(eba.Example71(6, 3, stack.Horizon()), eba.UniformInits(6, eba.One))
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +99,7 @@ func TestPublicVerifyImplementation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	bad, err := eba.VerifyImplementation(context.Background(), eba.Min(3, 1), eba.ProgramP0)
+	bad, err := eba.VerifyImplementation(context.Background(), mustStack(t, "min", 3, 1), eba.ProgramP0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,8 +108,8 @@ func TestPublicVerifyImplementation(t *testing.T) {
 	}
 	// The minimal protocol run over the FIP exchange is NOT an
 	// implementation of P1 (it ignores what full information offers).
-	mixed := eba.FIP(3, 1)
-	mixed.Action = eba.Min(3, 1).Action
+	mixed := mustStack(t, "fip", 3, 1)
+	mixed.Action = mustStack(t, "min", 3, 1).Action
 	bad, err = eba.VerifyImplementation(context.Background(), mixed, eba.ProgramP1)
 	if err != nil {
 		t.Fatal(err)
@@ -113,14 +123,14 @@ func TestPublicVerifyOptimality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	bad, err := eba.VerifyOptimality(context.Background(), eba.FIP(3, 1))
+	bad, err := eba.VerifyOptimality(context.Background(), mustStack(t, "fip", 3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(bad) != 0 {
 		t.Errorf("Popt should be optimal: %v", bad)
 	}
-	bad, err = eba.VerifyOptimality(context.Background(), eba.FIPNoCK(3, 1))
+	bad, err = eba.VerifyOptimality(context.Background(), mustStack(t, "fip-nock", 3, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +269,7 @@ func TestPublicRunnerBatchAndStream(t *testing.T) {
 func TestPublicNaiveIsBroken(t *testing.T) {
 	// The exported counterexample stack must still violate agreement under
 	// the introduction's adversary (E13 in miniature).
-	stack := eba.Naive(3, 1)
+	stack := mustStack(t, "naive", 3, 1)
 	pat := eba.NewPattern(3, stack.Horizon())
 	pat.Silence(0, 0, stack.Horizon())
 	// Rebuild with the single late delivery, as in the intro's run r′.

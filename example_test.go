@@ -1,6 +1,7 @@
 package eba_test
 
 import (
+	"context"
 	"fmt"
 
 	eba "repro"
@@ -8,7 +9,7 @@ import (
 
 // The basic protocol stack reaching agreement with a silent faulty agent.
 func Example() {
-	stack := eba.Basic(5, 2)
+	stack, _ := eba.NewStack("basic", eba.WithN(5), eba.WithT(2))
 	pattern := eba.Silent(5, stack.Horizon(), 0) // agent 0 faulty and silent
 	inits := []eba.Value{eba.Zero, eba.One, eba.One, eba.One, eba.One}
 
@@ -35,8 +36,10 @@ func ExampleFIP() {
 	pattern := eba.Example71(n, t, t+2)
 	inits := eba.UniformInits(n, eba.One)
 
-	fip, _ := eba.FIP(n, t).Run(pattern, inits)
-	min, _ := eba.Min(n, t).Run(pattern, inits)
+	fipStack, _ := eba.NewStack("fip", eba.WithN(n), eba.WithT(t))
+	minStack, _ := eba.NewStack("min", eba.WithN(n), eba.WithT(t))
+	fip, _ := fipStack.Run(pattern, inits)
+	min, _ := minStack.Run(pattern, inits)
 	fmt.Println("fip decides in round", fip.MaxDecisionRound(true))
 	fmt.Println("min decides in round", min.MaxDecisionRound(true))
 	// Output:
@@ -46,7 +49,7 @@ func ExampleFIP() {
 
 // Checking a completed run against the EBA specification of Section 5.
 func ExampleCheckRun() {
-	stack := eba.Min(3, 1)
+	stack, _ := eba.NewStack("min", eba.WithN(3), eba.WithT(1))
 	res, _ := stack.Run(eba.FailureFree(3, stack.Horizon()),
 		[]eba.Value{eba.Zero, eba.One, eba.One})
 	violations := eba.CheckRun(res, eba.SpecOptions{
@@ -66,8 +69,11 @@ func ExampleCompareRuns() {
 	scenarios := []eba.Scenario{
 		{Pattern: eba.FailureFree(n, t+2), Inits: eba.UniformInits(n, eba.One)},
 	}
-	runsBasic, _ := eba.Basic(n, t).RunScenarios(scenarios)
-	runsMin, _ := eba.Min(n, t).RunScenarios(scenarios)
+	basic, _ := eba.NewStack("basic", eba.WithN(n), eba.WithT(t))
+	min, _ := eba.NewStack("min", eba.WithN(n), eba.WithT(t))
+	ctx := context.Background()
+	runsBasic, _ := eba.NewRunner(basic, eba.WithBufferReuse()).RunBatch(ctx, scenarios)
+	runsMin, _ := eba.NewRunner(min, eba.WithBufferReuse()).RunBatch(ctx, scenarios)
 	dom, _ := eba.CompareRuns(runsBasic, runsMin)
 	fmt.Println("basic strictly dominates min here:", dom.Strictly())
 	// Output:

@@ -119,7 +119,10 @@ func (p *Opt) Act(_ model.AgentID, s model.State) model.Action {
 	if st.Decided().IsSet() {
 		return model.Noop
 	}
-	return graph.NewRef(p.t, st.Graph()).OwnerAction()
+	r := graph.AcquireRef(p.t, st.Graph())
+	a := r.OwnerAction()
+	r.Release()
+	return a
 }
 
 // OptNoCK is the ablated full-information protocol: P_opt without the two
@@ -153,7 +156,10 @@ func (p *OptNoCK) Act(_ model.AgentID, s model.State) model.Action {
 	if st.Decided().IsSet() {
 		return model.Noop
 	}
-	return graph.NewRefNoCK(p.t, st.Graph()).OwnerAction()
+	r := graph.AcquireRefNoCK(p.t, st.Graph())
+	a := r.OwnerAction()
+	r.Release()
+	return a
 }
 
 // Naive is the introduction's 0-biased protocol: decide 0 as soon as the

@@ -264,9 +264,17 @@ func TestNaiveSafeUnderCrash(t *testing.T) {
 	// the naive protocol satisfies agreement. Exhaustive over all crash(1)
 	// patterns and all initial vectors for n=3.
 	n, tf := 3, 1
-	adversary.EnumerateCrash(n, tf, tf+2, func(pat *model.Pattern) bool {
+	crash, err := adversary.NewCrashPatterns(n, tf, tf+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat, ok := crash.Next(); ok; pat, ok = crash.Next() {
 		p := pat.Clone()
-		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+		ivs, err := adversary.NewInitVectors(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for inits, ok2 := ivs.Next(); ok2; inits, ok2 = ivs.Next() {
 			res := runStack(t, exchange.NewReport(n), NewNaive(tf), p,
 				append([]model.Value(nil), inits...))
 			var dec model.Value = model.None
@@ -285,10 +293,8 @@ func TestNaiveSafeUnderCrash(t *testing.T) {
 					t.Fatalf("naive protocol disagreed under CRASH pattern %v inits %v", p, inits)
 				}
 			}
-			return true
-		})
-		return true
-	})
+		}
+	}
 }
 
 func TestConstructorValidation(t *testing.T) {

@@ -120,7 +120,7 @@ func TestCountSOMatchesEnumeration(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got int64
-	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+	forEachSO(t, 3, 1, 2, Options{}, func(p *model.Pattern) bool {
 		got++
 		return true
 	})
@@ -133,9 +133,9 @@ func TestCountSOMatchesEnumeration(t *testing.T) {
 	}
 }
 
-func TestEnumerateSOAllDistinctAndAdmitted(t *testing.T) {
+func TestSOPatternsAllDistinctAndAdmitted(t *testing.T) {
 	seen := make(map[string]bool)
-	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+	forEachSO(t, 3, 1, 2, Options{}, func(p *model.Pattern) bool {
 		k := p.Key()
 		if seen[k] {
 			t.Errorf("duplicate pattern %v", p)
@@ -151,9 +151,9 @@ func TestEnumerateSOAllDistinctAndAdmitted(t *testing.T) {
 	}
 }
 
-func TestEnumerateSOEarlyStop(t *testing.T) {
+func TestSOPatternsEarlyStop(t *testing.T) {
 	count := 0
-	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+	forEachSO(t, 3, 1, 2, Options{}, func(p *model.Pattern) bool {
 		count++
 		return count < 5
 	})
@@ -162,7 +162,7 @@ func TestEnumerateSOEarlyStop(t *testing.T) {
 	}
 }
 
-func TestEnumerateSOIncludeSelfDrops(t *testing.T) {
+func TestCountSOIncludeSelfDrops(t *testing.T) {
 	base, err := CountSO(2, 1, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -177,18 +177,15 @@ func TestEnumerateSOIncludeSelfDrops(t *testing.T) {
 	}
 }
 
-func TestEnumerateSOMaxPatternsGuard(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MaxPatterns guard did not fire")
-		}
-	}()
-	EnumerateSO(4, 2, 4, Options{MaxPatterns: 10}, func(*model.Pattern) bool { return true })
+func TestSOPatternsMaxPatternsGuard(t *testing.T) {
+	if _, err := NewSOPatterns(4, 2, 4, Options{MaxPatterns: 10}); err == nil {
+		t.Fatal("MaxPatterns guard did not fire")
+	}
 }
 
-func TestEnumerateCrashDistinctAndAdmitted(t *testing.T) {
+func TestCrashPatternsDistinctAndAdmitted(t *testing.T) {
 	seen := make(map[string]bool)
-	EnumerateCrash(3, 1, 2, func(p *model.Pattern) bool {
+	forEachCrash(t, 3, 1, 2, func(p *model.Pattern) bool {
 		k := p.Key()
 		if seen[k] {
 			t.Errorf("duplicate crash pattern %v", p)
@@ -209,11 +206,11 @@ func TestEnumerateCrashDistinctAndAdmitted(t *testing.T) {
 
 func TestCrashEnumerationIsSubsetOfSO(t *testing.T) {
 	soKeys := make(map[string]bool)
-	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+	forEachSO(t, 3, 1, 2, Options{}, func(p *model.Pattern) bool {
 		soKeys[p.Key()] = true
 		return true
 	})
-	EnumerateCrash(3, 1, 2, func(p *model.Pattern) bool {
+	forEachCrash(t, 3, 1, 2, func(p *model.Pattern) bool {
 		if !soKeys[p.Key()] {
 			t.Errorf("crash pattern not in SO enumeration: %v", p)
 		}
@@ -221,9 +218,9 @@ func TestCrashEnumerationIsSubsetOfSO(t *testing.T) {
 	})
 }
 
-func TestEnumerateInits(t *testing.T) {
+func TestInitVectorsCollect(t *testing.T) {
 	var got [][]model.Value
-	EnumerateInits(3, func(inits []model.Value) bool {
+	forEachInits(t, 3, func(inits []model.Value) bool {
 		cp := make([]model.Value, len(inits))
 		copy(cp, inits)
 		got = append(got, cp)

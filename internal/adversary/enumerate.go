@@ -17,8 +17,7 @@ type Options struct {
 	// MaxPatterns rejects enumeration if more than this many patterns
 	// would be produced; 0 means no limit. It guards against accidentally
 	// launching an infeasible exhaustive check. NewSOPatterns reports the
-	// rejection as an error; the deprecated EnumerateSO wrapper turns it
-	// into a panic.
+	// rejection as an error.
 	MaxPatterns int64
 }
 
@@ -90,9 +89,8 @@ type SOPatterns struct {
 }
 
 // NewSOPatterns validates the enumeration bounds and returns the iterator.
-// It fails (instead of panicking, as the deprecated EnumerateSO does) when
-// a faulty set would expose 62 or more droppable slots, or when
-// opts.MaxPatterns is positive and the sweep exceeds it.
+// It fails when a faulty set would expose 62 or more droppable slots, or
+// when opts.MaxPatterns is positive and the sweep exceeds it.
 func NewSOPatterns(n, t, horizon int, opts Options) (*SOPatterns, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("adversary: SO enumeration needs n > 0, got %d", n)
@@ -178,32 +176,6 @@ func (it *SOPatterns) Next() (*model.Pattern, bool) {
 	}
 }
 
-// EnumerateSO calls fn for every failure pattern in SO(t) over n agents and
-// the given horizon: every faulty set of size at most t (including faulty
-// agents that drop nothing) combined with every subset of droppable
-// messages. Enumeration stops early if fn returns false. The pattern passed
-// to fn is reused across calls — consecutive patterns are produced by
-// toggling the drops that changed, with no per-pattern allocation — so fn
-// must Clone the pattern if it retains it.
-//
-// EnumerateSO panics when the enumeration bounds are rejected: when a
-// faulty set exposes 62 or more droppable slots, or when opts.MaxPatterns
-// is positive and the sweep would exceed it.
-//
-// Deprecated: use NewSOPatterns, which reports rejected bounds as an error
-// instead of panicking and supports pull-style (streaming) consumption.
-func EnumerateSO(n, t, horizon int, opts Options, fn func(*model.Pattern) bool) {
-	it, err := NewSOPatterns(n, t, horizon, opts)
-	if err != nil {
-		panic(err.Error())
-	}
-	for p, ok := it.Next(); ok; p, ok = it.Next() {
-		if !fn(p) {
-			return
-		}
-	}
-}
-
 // crashNever marks a faulty agent that never observably crashes.
 const crashNever = -1
 
@@ -233,10 +205,11 @@ func CountCrash(n, t, horizon int) (int64, error) {
 // CrashPatterns enumerates every crash(t) pattern lazily, pull-style: for
 // each faulty set, every combination of per-agent crash behaviors — a
 // crash time c in [0, horizon) with a proper subset of the other agents
-// reached in the crash round, or "never observably crashes" — in the same
-// deterministic order as the deprecated EnumerateCrash. Every distinct
-// crash drop-pattern is produced exactly once. Construct with
-// NewCrashPatterns.
+// reached in the crash round, or "never observably crashes" — in a fixed
+// deterministic order (faulty sets by size then lexicographically, the
+// per-agent behavior odometer spinning fastest for the last agent).
+// Every distinct crash drop-pattern is produced exactly once. Construct
+// with NewCrashPatterns.
 //
 // Unlike SOPatterns, each Next call builds a fresh pattern (crash sweeps
 // are not a measured hot path); it may still be retained only until the
@@ -353,29 +326,6 @@ func (it *CrashPatterns) build() *model.Pattern {
 	return p
 }
 
-// EnumerateCrash calls fn for every crash(t) pattern over n agents and the
-// given horizon. For each faulty agent the enumeration chooses a crash time
-// c in [0, horizon] (horizon meaning "never observably crashes") and, for
-// c < horizon, a proper subset of the other agents reached in the crash
-// round. Every distinct crash drop-pattern is produced exactly once.
-//
-// EnumerateCrash panics when n is too large for the reached-subset masks
-// to be enumerated (n-1 >= 62).
-//
-// Deprecated: use NewCrashPatterns, which reports rejected bounds as an
-// error instead of panicking and supports pull-style consumption.
-func EnumerateCrash(n, t, horizon int, fn func(*model.Pattern) bool) {
-	it, err := NewCrashPatterns(n, t, horizon)
-	if err != nil {
-		panic(err.Error())
-	}
-	for p, ok := it.Next(); ok; p, ok = it.Next() {
-		if !fn(p) {
-			return
-		}
-	}
-}
-
 // subsetsUpTo returns all subsets of {0..n-1} of size at most t, as sorted
 // slices, in a deterministic order (by size, then lexicographically).
 func subsetsUpTo(n, t int) [][]model.AgentID {
@@ -448,27 +398,6 @@ func (it *InitVectors) Next() ([]model.Value, bool) {
 	}
 	it.mask++
 	return it.inits, true
-}
-
-// EnumerateInits calls fn for every assignment of initial preferences to n
-// agents (2^n vectors), in increasing binary order with agent 0 as the
-// least-significant bit. The slice passed to fn is reused; copy it if it
-// must be retained. Enumeration stops early if fn returns false.
-//
-// EnumerateInits panics when n is out of range (n <= 0 or n >= 62).
-//
-// Deprecated: use NewInitVectors, which reports rejected bounds as an
-// error instead of panicking and supports pull-style consumption.
-func EnumerateInits(n int, fn func([]model.Value) bool) {
-	it, err := NewInitVectors(n)
-	if err != nil {
-		panic(err.Error())
-	}
-	for inits, ok := it.Next(); ok; inits, ok = it.Next() {
-		if !fn(inits) {
-			return
-		}
-	}
 }
 
 // UniformInits returns an n-vector with every agent holding value v.

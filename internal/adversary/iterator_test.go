@@ -6,11 +6,55 @@ import (
 	"repro/internal/model"
 )
 
-// TestSOPatternsMatchesEnumerateSO checks the pull-style iterator produces
-// exactly the callback enumeration's patterns, in the same order.
-func TestSOPatternsMatchesEnumerateSO(t *testing.T) {
+// forEachSO drives the SO iterator callback-style; enumeration stops
+// early when fn returns false.
+func forEachSO(t *testing.T, n, tf, horizon int, opts Options, fn func(*model.Pattern) bool) {
+	t.Helper()
+	it, err := NewSOPatterns(n, tf, horizon, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// forEachCrash drives the crash iterator callback-style.
+func forEachCrash(t *testing.T, n, tf, horizon int, fn func(*model.Pattern) bool) {
+	t.Helper()
+	it, err := NewCrashPatterns(n, tf, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, ok := it.Next(); ok; p, ok = it.Next() {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// forEachInits drives the init-vector iterator callback-style.
+func forEachInits(t *testing.T, n int, fn func([]model.Value) bool) {
+	t.Helper()
+	it, err := NewInitVectors(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inits, ok := it.Next(); ok; inits, ok = it.Next() {
+		if !fn(inits) {
+			return
+		}
+	}
+}
+
+// TestSOPatternsDeterministicOrder checks the iterator's order is a
+// function of its bounds alone (two fresh sweeps agree key for key), its
+// Count matches the sweep, and exhaustion is final.
+func TestSOPatternsDeterministicOrder(t *testing.T) {
 	var want []string
-	EnumerateSO(3, 1, 2, Options{}, func(p *model.Pattern) bool {
+	forEachSO(t, 3, 1, 2, Options{}, func(p *model.Pattern) bool {
 		want = append(want, p.Key())
 		return true
 	})
@@ -26,11 +70,11 @@ func TestSOPatternsMatchesEnumerateSO(t *testing.T) {
 		got = append(got, p.Key())
 	}
 	if len(got) != len(want) {
-		t.Fatalf("iterator produced %d patterns, enumeration %d", len(got), len(want))
+		t.Fatalf("second sweep produced %d patterns, first %d", len(got), len(want))
 	}
 	for k := range want {
 		if got[k] != want[k] {
-			t.Fatalf("pattern %d differs between iterator and enumeration", k)
+			t.Fatalf("pattern %d differs between two fresh sweeps", k)
 		}
 	}
 	// Exhausted iterators stay exhausted.
@@ -67,8 +111,8 @@ func TestSOPatternsReusesPattern(t *testing.T) {
 	}
 }
 
-// TestSOPatternsRejectsOversizedSweep checks the constructor returns
-// errors where the deprecated wrapper panics.
+// TestSOPatternsRejectsOversizedSweep checks the constructor reports
+// rejected bounds as errors.
 func TestSOPatternsRejectsOversizedSweep(t *testing.T) {
 	if _, err := NewSOPatterns(4, 2, 4, Options{MaxPatterns: 10}); err == nil {
 		t.Error("MaxPatterns guard did not reject the sweep")
@@ -82,12 +126,12 @@ func TestSOPatternsRejectsOversizedSweep(t *testing.T) {
 	}
 }
 
-// TestCrashPatternsMatchesEnumerateCrash checks the crash iterator
-// reproduces the recursive enumeration exactly, in order.
-func TestCrashPatternsMatchesEnumerateCrash(t *testing.T) {
+// TestCrashPatternsDeterministicOrder checks the crash iterator's order
+// is a function of its bounds alone and its Count matches the sweep.
+func TestCrashPatternsDeterministicOrder(t *testing.T) {
 	for _, c := range []struct{ n, t, horizon int }{{3, 1, 2}, {3, 2, 2}, {4, 1, 3}, {2, 1, 0}} {
 		var want []string
-		EnumerateCrash(c.n, c.t, c.horizon, func(p *model.Pattern) bool {
+		forEachCrash(t, c.n, c.t, c.horizon, func(p *model.Pattern) bool {
 			want = append(want, p.Key())
 			return true
 		})
@@ -103,7 +147,7 @@ func TestCrashPatternsMatchesEnumerateCrash(t *testing.T) {
 			got = append(got, p.Key())
 		}
 		if len(got) != len(want) {
-			t.Fatalf("n=%d t=%d h=%d: iterator produced %d patterns, enumeration %d",
+			t.Fatalf("n=%d t=%d h=%d: second sweep produced %d patterns, first %d",
 				c.n, c.t, c.horizon, len(got), len(want))
 		}
 		for k := range want {
@@ -114,14 +158,9 @@ func TestCrashPatternsMatchesEnumerateCrash(t *testing.T) {
 	}
 }
 
-// TestInitVectorsMatchesEnumerateInits checks the init iterator and its
-// count.
-func TestInitVectorsMatchesEnumerateInits(t *testing.T) {
-	var want [][]model.Value
-	EnumerateInits(3, func(inits []model.Value) bool {
-		want = append(want, append([]model.Value(nil), inits...))
-		return true
-	})
+// TestInitVectorsBinaryOrder checks the init iterator produces all 2^n
+// vectors in increasing binary order, agent 0 least significant.
+func TestInitVectorsBinaryOrder(t *testing.T) {
 	it, err := NewInitVectors(3)
 	if err != nil {
 		t.Fatal(err)
@@ -132,8 +171,9 @@ func TestInitVectorsMatchesEnumerateInits(t *testing.T) {
 	k := 0
 	for inits, ok := it.Next(); ok; inits, ok = it.Next() {
 		for i := range inits {
-			if inits[i] != want[k][i] {
-				t.Fatalf("vector %d differs at agent %d", k, i)
+			want := model.Value((k >> i) & 1)
+			if inits[i] != want {
+				t.Fatalf("vector %d agent %d = %v, want %v", k, i, inits[i], want)
 			}
 		}
 		k++
@@ -156,7 +196,7 @@ func TestCountCrashMatchesEnumeration(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got int64
-	EnumerateCrash(3, 1, 2, func(*model.Pattern) bool { got++; return true })
+	forEachCrash(t, 3, 1, 2, func(*model.Pattern) bool { got++; return true })
 	if got != want {
 		t.Errorf("enumerated %d crash patterns, CountCrash says %d", got, want)
 	}

@@ -125,44 +125,6 @@ func MustStack(name string, opts ...Option) Stack {
 // StackNames lists the registered stack names, sorted.
 func StackNames() []string { return registry.StackNames() }
 
-// Min returns the minimal stack ⟨Emin(n), P_min⟩ of Section 6.
-//
-// Deprecated: use NewStack("min", WithN(n), WithT(t)).
-func Min(n, t int) Stack { return MustStack("min", WithN(n), WithT(t)) }
-
-// Basic returns the basic stack ⟨Ebasic(n), P_basic⟩ of Section 6.
-//
-// Deprecated: use NewStack("basic", WithN(n), WithT(t)).
-func Basic(n, t int) Stack { return MustStack("basic", WithN(n), WithT(t)) }
-
-// FIP returns the full-information stack ⟨Efip(n), P_opt⟩ of Section 7.
-//
-// Deprecated: use NewStack("fip", WithN(n), WithT(t)).
-func FIP(n, t int) Stack { return MustStack("fip", WithN(n), WithT(t)) }
-
-// FIPWithMin returns ⟨Efip(n), P_min⟩: the full-information exchange
-// driven by the minimal decision rule. It pays full-information message
-// costs without the optimal decision times — used by the complexity
-// benchmarks to measure exchange cost independently of P_opt's compute,
-// and by the optimality experiments as a correct-but-dominated baseline.
-//
-// Deprecated: use NewStack("fip+pmin", WithN(n), WithT(t)).
-func FIPWithMin(n, t int) Stack { return MustStack("fip+pmin", WithN(n), WithT(t)) }
-
-// FIPNoCK returns the ablated full-information stack ⟨Efip(n),
-// P_opt-without-common-knowledge⟩: an implementation of P0 over full
-// information. Correct but not optimal; experiment E15 quantifies what
-// the common-knowledge guards buy.
-//
-// Deprecated: use NewStack("fip-nock", WithN(n), WithT(t)).
-func FIPNoCK(n, t int) Stack { return MustStack("fip-nock", WithN(n), WithT(t)) }
-
-// Naive returns the introduction's counterexample stack ⟨Ereport(n),
-// P_naive⟩, which violates Agreement under omission failures.
-//
-// Deprecated: use NewStack("naive", WithN(n), WithT(t)).
-func Naive(n, t int) Stack { return MustStack("naive", WithN(n), WithT(t)) }
-
 // Horizon is the number of rounds the stack executes for: the WithHorizon
 // override if one was given, else t+2 — the bound after which every EBA
 // stack has decided (Proposition 6.1).

@@ -13,11 +13,11 @@ func TestStackConstructors(t *testing.T) {
 		stack Stack
 		name  string
 	}{
-		{Min(4, 1), "min"},
-		{Basic(4, 1), "basic"},
-		{FIP(4, 1), "fip"},
-		{FIPWithMin(4, 1), "fip+pmin"},
-		{Naive(4, 1), "naive"},
+		{MustStack("min", WithN(4), WithT(1)), "min"},
+		{MustStack("basic", WithN(4), WithT(1)), "basic"},
+		{MustStack("fip", WithN(4), WithT(1)), "fip"},
+		{MustStack("fip+pmin", WithN(4), WithT(1)), "fip+pmin"},
+		{MustStack("naive", WithN(4), WithT(1)), "naive"},
 	}
 	for _, c := range cases {
 		if c.stack.Name != c.name {
@@ -30,8 +30,8 @@ func TestStackConstructors(t *testing.T) {
 }
 
 func TestStackRunAndConcurrentAgree(t *testing.T) {
-	for _, mk := range []func(int, int) Stack{Min, Basic, FIP} {
-		st := mk(4, 1)
+	for _, name := range []string{"min", "basic", "fip"} {
+		st := MustStack(name, WithN(4), WithT(1))
 		pat := adversary.Silent(4, st.Horizon(), 2)
 		inits := []model.Value{model.One, model.Zero, model.One, model.One}
 		seq, err := st.Run(pat, inits)
@@ -54,36 +54,8 @@ func TestStackRunAndConcurrentAgree(t *testing.T) {
 	}
 }
 
-func TestRunScenariosPreservesOrder(t *testing.T) {
-	st := Min(3, 1)
-	scenarios := []Scenario{
-		{Pattern: adversary.FailureFree(3, st.Horizon()), Inits: adversary.UniformInits(3, model.One)},
-		{Pattern: adversary.Silent(3, st.Horizon(), 0), Inits: adversary.UniformInits(3, model.Zero)},
-	}
-	runs, err := st.RunScenarios(scenarios)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(runs) != 2 {
-		t.Fatalf("got %d runs", len(runs))
-	}
-	if runs[0].Decided(0) != model.One || runs[1].Decided(1) != model.Zero {
-		t.Error("scenario order not preserved")
-	}
-}
-
-func TestRunScenariosPropagatesError(t *testing.T) {
-	st := Min(3, 1)
-	scenarios := []Scenario{
-		{Pattern: adversary.FailureFree(4, 3), Inits: adversary.UniformInits(3, model.One)},
-	}
-	if _, err := st.RunScenarios(scenarios); err == nil {
-		t.Error("size mismatch not reported")
-	}
-}
-
 func TestAtHorizon(t *testing.T) {
-	st := Min(3, 1)
+	st := MustStack("min", WithN(3), WithT(1))
 	if got := st.Horizon(); got != 3 {
 		t.Fatalf("default horizon %d, want t+2 = 3", got)
 	}

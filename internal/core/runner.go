@@ -4,8 +4,9 @@
 // order-preserving parallel batch (RunBatch), or as a stream of outcomes
 // (Stream over slices, StreamFrom/RunSource over lazy Sources — see
 // stream.go). Batches fan out over a worker pool of WithParallelism(k)
-// workers; each worker owns its own engine.Buffers when WithBufferReuse
-// is on, so the batch hot path allocates no per-round scratch. Because
+// workers; each worker owns its own arena-backed engine.Buffers when
+// WithBufferReuse is on, so the batch hot path allocates O(1) per round
+// — including the exchanges' own allocations. Because
 // every run is deterministic, parallel batches are bit-for-bit identical
 // to sequential ones — a property the tests enforce.
 package core
@@ -57,9 +58,14 @@ func WithSpecCheck(opts spec.Options) RunnerOption {
 	return func(r *Runner) { r.specOpts = &opts }
 }
 
-// WithBufferReuse gives every batch worker a private engine.Buffers
-// reused across its runs, eliminating per-round scratch allocation on the
-// batch hot path. Only buffer-aware executors profit; others ignore it.
+// WithBufferReuse gives every batch worker a private arena-backed
+// engine.Buffers reused across its runs: the engine's per-round matrices
+// are recycled, and exchanges that implement model.BufferedExchange
+// additionally draw their own per-round allocations (Efip's graph
+// clones) from the worker's arena. Everything reachable from a returned
+// Result is detached from the arena, so results outlive the workers
+// safely; traces are bit-identical with or without reuse. This applies
+// to Run, RunBatch, Stream, StreamFrom, and RunSource alike.
 func WithBufferReuse() RunnerOption {
 	return func(r *Runner) { r.bufferReuse = true }
 }
@@ -115,7 +121,7 @@ func (e *SpecError) Error() string {
 func (r *Runner) Run(ctx context.Context, sc Scenario) (*engine.Result, error) {
 	var buf *engine.Buffers
 	if r.bufferReuse {
-		buf = engine.NewBuffers()
+		buf = engine.NewArenaBuffers()
 	}
 	out := r.runOne(ctx, 0, sc, buf)
 	if out.Err != nil {
@@ -176,13 +182,4 @@ func (r *Runner) runOne(ctx context.Context, idx int, sc Scenario, buf *engine.B
 		}
 	}
 	return oc
-}
-
-// RunScenarios executes the stack on each scenario sequentially,
-// preserving order.
-//
-// Deprecated: use NewRunner(s).RunBatch, which adds parallelism, spec
-// checking, buffer reuse, and cancellation.
-func (s Stack) RunScenarios(scenarios []Scenario) ([]*engine.Result, error) {
-	return NewRunner(s, WithBufferReuse()).RunBatch(context.Background(), scenarios)
 }

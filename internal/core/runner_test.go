@@ -282,29 +282,6 @@ func TestComposedStackNames(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConstructorsAgree checks the thin wrappers build the same
-// stacks the registry does.
-func TestDeprecatedConstructorsAgree(t *testing.T) {
-	pairs := []struct {
-		old Stack
-		new string
-	}{
-		{Min(4, 1), "min"},
-		{Basic(4, 1), "basic"},
-		{FIP(4, 1), "fip"},
-		{FIPWithMin(4, 1), "fip+pmin"},
-		{FIPNoCK(4, 1), "fip-nock"},
-		{Naive(4, 1), "naive"},
-	}
-	for _, p := range pairs {
-		st := MustStack(p.new, WithN(4), WithT(1))
-		if p.old.Name != st.Name || p.old.Exchange.Name() != st.Exchange.Name() ||
-			p.old.Action.Name() != st.Action.Name() || p.old.N != st.N || p.old.T != st.T {
-			t.Errorf("constructor for %q disagrees with the registry", p.new)
-		}
-	}
-}
-
 // TestRunnerErrorPropagation checks an execution error surfaces with the
 // scenario index.
 func TestRunnerErrorPropagation(t *testing.T) {

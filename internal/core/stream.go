@@ -143,7 +143,7 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 				defer wg.Done()
 				var buf *engine.Buffers
 				if r.bufferReuse {
-					buf = engine.NewBuffers()
+					buf = engine.NewArenaBuffers()
 				}
 				for jb := range jobs {
 					select {

@@ -75,22 +75,57 @@ type Result struct {
 }
 
 // Buffers holds the per-round scratch of an execution — the outbox and
-// inbox matrices and the rolling state slices — so that a caller running
-// many configurations (a batch worker, a benchmark loop) can reuse them
-// across runs instead of reallocating ~2n²+2n words per round. A Buffers
-// value belongs to one goroutine at a time; the zero value is ready to
-// use. Nothing reachable from a returned Result aliases a buffer: states
-// and actions recorded in the trace are copied into fresh slices, and the
-// exchanges never retain the inbox slice they are handed.
+// inbox matrices, the rolling state slices, and (for arena-backed
+// buffers) the exchange's own scratch — so that a caller running many
+// configurations (a batch worker, a benchmark loop) can reuse them
+// across runs instead of reallocating per round. A Buffers value belongs
+// to one goroutine at a time; the zero value is ready to use.
+//
+// Ownership rule (the memory model of the buffered path): everything
+// reachable from a returned *Result is detached — states recorded in the
+// trace are frozen against scratch recycling (model.Detacher) and the
+// trace's own slices are fresh — while everything else (the matrices,
+// the rolling state slices, the exchange scratch and its arena) is
+// recycled on the next RunBuffered with the same Buffers. So the same
+// buffers can be reused run after run while every earlier Result stays
+// live and mutation-safe.
 type Buffers struct {
 	outbox [][]model.Message
 	inbox  [][]model.Message
 	cur    []model.State
 	next   []model.State
+
+	// pooled selects the arena-backed mode: beginRun acquires (and
+	// recycles) exchange scratch, and exchanges that implement
+	// model.BufferedExchange run their δ against it.
+	pooled bool
+	// bex is non-nil while the buffers are bound to a buffered exchange
+	// (set by beginRun for the duration of a run).
+	bex model.BufferedExchange
+	// scratch is the exchange scratch acquired from scratchEx; nil for
+	// scratchless exchanges and in non-pooled mode.
+	scratch   model.Scratch
+	scratchEx model.BufferedExchange
 }
 
-// NewBuffers returns an empty buffer set, sized lazily on first use.
+// NewBuffers returns an empty buffer set, sized lazily on first use. The
+// engine's matrices are reused across runs; exchanges run their buffered
+// μ (MessagesInto) but δ stays on the plain allocation path. Use
+// NewArenaBuffers to also recycle the exchanges' own allocations.
 func NewBuffers() *Buffers { return &Buffers{} }
+
+// NewArenaBuffers returns buffers that additionally own per-exchange
+// scratch: exchanges implementing model.BufferedExchange draw their
+// per-round allocations (Efip's graph clones) from an arena that is
+// recycled on the next RunBuffered. Traces are bit-identical to every
+// other execution path; only the allocation behavior differs.
+func NewArenaBuffers() *Buffers { return &Buffers{pooled: true} }
+
+// ArenaBacked reports whether the buffers own exchange scratch
+// (NewArenaBuffers): executors that cannot share the Buffers value
+// itself (the goroutine-per-agent runtime) use it to decide whether
+// their per-agent scratch should include the exchanges' arenas.
+func (b *Buffers) ArenaBacked() bool { return b.pooled }
 
 // ensure sizes the buffers for n agents.
 func (b *Buffers) ensure(n int) {
@@ -108,6 +143,14 @@ func (b *Buffers) ensure(n int) {
 		}
 		b.inbox[j] = b.inbox[j][:n]
 	}
+	// The outbox rows double as MessagesInto targets for buffered
+	// exchanges; plain exchanges overwrite the row with their own slice.
+	for i := range b.outbox {
+		if cap(b.outbox[i]) < n {
+			b.outbox[i] = make([]model.Message, n)
+		}
+		b.outbox[i] = b.outbox[i][:n]
+	}
 	if cap(b.cur) < n {
 		b.cur = make([]model.State, n)
 	}
@@ -116,6 +159,32 @@ func (b *Buffers) ensure(n int) {
 		b.next = make([]model.State, n)
 	}
 	b.next = b.next[:n]
+}
+
+// BeginRun binds the buffers to one run of ex: sizes the matrices,
+// resolves the buffered-exchange interface, and — in arena mode —
+// acquires (or recycles, per the ownership rule) the exchange scratch.
+func (b *Buffers) BeginRun(ex model.Exchange) {
+	b.ensure(ex.N())
+	bex, ok := ex.(model.BufferedExchange)
+	if !ok {
+		b.bex = nil
+		return
+	}
+	b.bex = bex
+	if !b.pooled {
+		return
+	}
+	if b.scratchEx != bex {
+		if b.scratchEx != nil {
+			b.scratchEx.ReleaseScratch(b.scratch)
+		}
+		b.scratchEx = bex
+		b.scratch = bex.AcquireScratch()
+	}
+	if b.scratch != nil {
+		b.scratch.Reset()
+	}
 }
 
 // Run executes the configuration and returns the completed run.
@@ -166,7 +235,7 @@ func RunBuffered(cfg Config, buf *Buffers) (*Result, error) {
 
 	var cur, next []model.State
 	if buf != nil {
-		buf.ensure(n)
+		buf.BeginRun(ex)
 		cur, next = buf.cur, buf.next
 	} else {
 		cur = make([]model.State, n)
@@ -203,6 +272,13 @@ func RunBuffered(cfg Config, buf *Buffers) (*Result, error) {
 		cur, next = next, cur
 		res.States[m+1] = append([]model.State(nil), cur...)
 	}
+	if buf != nil && buf.scratch != nil {
+		// The ownership rule: everything reachable from the Result is
+		// detached before the scratch can be recycled by the next run.
+		for _, row := range res.States {
+			model.DetachAll(row)
+		}
+	}
 	return res, nil
 }
 
@@ -220,19 +296,37 @@ func Step(ex model.Exchange, pat *model.Pattern, m int, states []model.State, ac
 	return next, stats, nil
 }
 
+// StepInto is Step for executors that manage their own trace and
+// buffers: it writes the time-m+1 states into next, drawing the message
+// matrices and the exchange scratch from buf (bind buf to the exchange
+// with BeginRun once per run; a nil buf allocates per round as Step
+// does). States produced through arena-backed buffers reference
+// recyclable scratch memory: a caller that retains them beyond the
+// run — the model checker's memoizing executor interning transition
+// rows — must freeze them first with model.DetachAll.
+func StepInto(ex model.Exchange, pat *model.Pattern, m int, states []model.State, acts []model.Action,
+	next []model.State, buf *Buffers) (Stats, error) {
+	return stepInto(ex, pat, m, states, acts, next, buf)
+}
+
 // stepInto is Step writing the time-m+1 states into next, drawing the
-// outbox and inbox matrices from buf when one is provided. The exchanges
-// are contracted not to retain the inbox slice they receive (they copy
-// what they need into the fresh state), which is what makes inbox reuse
-// across rounds and runs sound.
+// outbox and inbox matrices — and, for buffered exchanges, μ's target
+// slices and δ's scratch — from buf when one is provided (buf must have
+// been bound to ex with beginRun). The exchanges are contracted not to
+// retain the inbox slice they receive (they copy what they need into the
+// fresh state), which is what makes inbox reuse across rounds and runs
+// sound.
 func stepInto(ex model.Exchange, pat *model.Pattern, m int, states []model.State, acts []model.Action,
 	next []model.State, buf *Buffers) (Stats, error) {
 
 	n := ex.N()
 	var stats Stats
 	var outbox, inbox [][]model.Message
+	var bex model.BufferedExchange
+	var scratch model.Scratch
 	if buf != nil {
 		outbox, inbox = buf.outbox, buf.inbox
+		bex, scratch = buf.bex, buf.scratch
 	} else {
 		outbox = make([][]model.Message, n)
 		inbox = make([][]model.Message, n)
@@ -241,7 +335,11 @@ func stepInto(ex model.Exchange, pat *model.Pattern, m int, states []model.State
 		}
 	}
 	for i := 0; i < n; i++ {
-		outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
+		if bex != nil {
+			outbox[i] = bex.MessagesInto(model.AgentID(i), states[i], acts[i], outbox[i])
+		} else {
+			outbox[i] = ex.Messages(model.AgentID(i), states[i], acts[i])
+		}
 		if len(outbox[i]) != n {
 			return stats, fmt.Errorf("engine: %s.Messages returned %d entries for %d agents",
 				ex.Name(), len(outbox[i]), n)
@@ -269,7 +367,11 @@ func stepInto(ex model.Exchange, pat *model.Pattern, m int, states []model.State
 	}
 
 	for i := 0; i < n; i++ {
-		next[i] = ex.Update(model.AgentID(i), states[i], acts[i], inbox[i])
+		if bex != nil {
+			next[i] = bex.UpdateScratch(model.AgentID(i), states[i], acts[i], inbox[i], scratch)
+		} else {
+			next[i] = ex.Update(model.AgentID(i), states[i], acts[i], inbox[i])
+		}
 		if got := next[i].Time(); got != m+1 {
 			return stats, fmt.Errorf("engine: %s.Update produced time %d at time %d",
 				ex.Name(), got, m+1)

@@ -206,6 +206,12 @@ func (e *memoExec) Execute(cfg engine.Config, buf *engine.Buffers) (*engine.Resu
 	if horizon < 0 {
 		return nil, fmt.Errorf("engine: negative horizon %d", horizon)
 	}
+	if buf != nil {
+		// Bind the worker's buffers (and, with arena-backed buffers, the
+		// exchange scratch) to this run; fresh transitions are computed
+		// through the buffered step and detached before interning.
+		buf.BeginRun(ex)
+	}
 
 	res := &engine.Result{
 		N:             n,
@@ -242,10 +248,15 @@ func (e *memoExec) Execute(cfg engine.Config, buf *engine.Buffers) (*engine.Resu
 		val, ok := e.steps[key]
 		e.mu.RUnlock()
 		if !ok {
-			next, stats, err := engine.Step(ex, pat, m, cur, acts)
+			next := make([]model.State, n)
+			stats, err := engine.StepInto(ex, pat, m, cur, acts, next, buf)
 			if err != nil {
 				return nil, err
 			}
+			// The row is interned and aliased by every run that hits the
+			// entry — including runs on other workers after this worker's
+			// arena has been recycled. Freeze it first.
+			model.DetachAll(next)
 			val = stepVal{next: next, stats: stats}
 			e.mu.Lock()
 			if prev, again := e.steps[key]; again {

@@ -84,7 +84,9 @@ func (s BasicState) Key() string {
 
 // Basic is the basic information-exchange protocol Ebasic(n).
 type Basic struct {
-	n int
+	scratchless
+	n       int
+	initial [2]model.State
 }
 
 // NewBasic returns Ebasic for n agents.
@@ -92,7 +94,11 @@ func NewBasic(n int) *Basic {
 	if n <= 0 {
 		panic("exchange: NewBasic with n <= 0")
 	}
-	return &Basic{n: n}
+	e := &Basic{n: n}
+	// Interned time-0 states (see Min.Initial).
+	e.initial[0] = BasicState{init: model.Zero, decided: model.None, jd: model.None}
+	e.initial[1] = BasicState{init: model.One, decided: model.None, jd: model.None}
+	return e
 }
 
 // Name returns "Ebasic".
@@ -103,14 +109,21 @@ func (e *Basic) N() int { return e.n }
 
 // Initial returns ⟨0, init, ⊥, ⊥, 0⟩.
 func (e *Basic) Initial(_ model.AgentID, init model.Value) model.State {
+	if init.IsSet() {
+		return e.initial[init]
+	}
 	return BasicState{init: init, decided: model.None, jd: model.None}
 }
 
 // Messages broadcasts the decided bit in a deciding round; an undecided,
 // unprompted agent with initial preference 1 broadcasts (init,1);
 // otherwise the agent is silent (μ of Ebasic).
-func (e *Basic) Messages(_ model.AgentID, s model.State, a model.Action) []model.Message {
-	out := make([]model.Message, e.n)
+func (e *Basic) Messages(i model.AgentID, s model.State, a model.Action) []model.Message {
+	return e.MessagesInto(i, s, a, make([]model.Message, e.n))
+}
+
+// MessagesInto is Messages broadcasting into the caller's slice.
+func (e *Basic) MessagesInto(_ model.AgentID, s model.State, a model.Action, out []model.Message) []model.Message {
 	var msg model.Message
 	switch d := a.Decision(); {
 	case d == model.Zero:
@@ -123,13 +136,16 @@ func (e *Basic) Messages(_ model.AgentID, s model.State, a model.Action) []model
 			msg = BasicMsg{Kind: BasicInit1}
 		}
 	}
-	if msg == nil {
-		return out
-	}
 	for j := range out {
 		out[j] = msg
 	}
 	return out
+}
+
+// UpdateScratch is Update; Ebasic's δ allocates nothing, so there is no
+// scratch to draw from.
+func (e *Basic) UpdateScratch(i model.AgentID, s model.State, a model.Action, received []model.Message, _ model.Scratch) model.State {
+	return e.Update(i, s, a, received)
 }
 
 // Update advances time, records decisions and jd as in Emin, and sets #1

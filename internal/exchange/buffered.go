@@ -1,0 +1,15 @@
+package exchange
+
+import "repro/internal/model"
+
+// scratchless supplies the no-op scratch half of model.BufferedExchange
+// for exchanges whose δ allocates nothing: Emin, Ebasic, and Ereport
+// carry their whole state in a few machine words, so their buffered path
+// is MessagesInto alone.
+type scratchless struct{}
+
+// AcquireScratch returns nil: there is no scratch to draw from.
+func (scratchless) AcquireScratch() model.Scratch { return nil }
+
+// ReleaseScratch is a no-op.
+func (scratchless) ReleaseScratch(model.Scratch) {}

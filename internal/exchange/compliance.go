@@ -9,10 +9,20 @@ var (
 	_ model.Exchange = (*Report)(nil)
 	_ model.Exchange = (*FIP)(nil)
 
+	// Every built-in exchange opts into the zero-allocation path.
+	_ model.BufferedExchange = (*Min)(nil)
+	_ model.BufferedExchange = (*Basic)(nil)
+	_ model.BufferedExchange = (*Report)(nil)
+	_ model.BufferedExchange = (*FIP)(nil)
+
 	_ model.State = MinState{}
 	_ model.State = BasicState{}
 	_ model.State = ReportState{}
 	_ model.State = FIPState{}
+
+	// FIPState references arena memory on the buffered path and knows
+	// how to freeze itself for retention.
+	_ model.Detacher = FIPState{}
 
 	_ model.Message = MinMsg{}
 	_ model.Message = BasicMsg{}

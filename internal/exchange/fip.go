@@ -1,6 +1,8 @@
 package exchange
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/model"
 )
@@ -65,6 +67,12 @@ func (s FIPState) Graph() *graph.Graph { return s.g }
 // Key is the graph's fingerprint: full information, nothing else.
 func (s FIPState) Key() string { return s.g.Key() }
 
+// DetachState freezes the state for unbounded retention: if its graph is
+// arena-backed the arena is pinned (graph.Graph.Detach), so no scratch
+// Reset will ever recycle the memory under a live trace or interned
+// state row. On plain-heap states it is a no-op.
+func (s FIPState) DetachState() { s.g.Detach() }
+
 // FIP is the full-information exchange Efip(n) of Section A.2.7.
 type FIP struct {
 	n int
@@ -94,14 +102,47 @@ func (e *FIP) Initial(i model.AgentID, init model.Value) model.State {
 
 // Messages broadcasts the agent's graph to everyone, every round, tagged
 // with this round's decision class.
-func (e *FIP) Messages(_ model.AgentID, s model.State, a model.Action) []model.Message {
+func (e *FIP) Messages(i model.AgentID, s model.State, a model.Action) []model.Message {
+	return e.MessagesInto(i, s, a, make([]model.Message, e.n))
+}
+
+// MessagesInto is Messages broadcasting into the caller's slice: the
+// graph is shared by pointer and the FIPMsg is boxed once, so the
+// per-round send side of the full-information exchange allocates exactly
+// one interface header.
+func (e *FIP) MessagesInto(_ model.AgentID, s model.State, a model.Action, out []model.Message) []model.Message {
 	st := s.(FIPState)
-	msg := FIPMsg{G: st.g, Announce: a.Decision()}
-	out := make([]model.Message, e.n)
+	var msg model.Message = FIPMsg{G: st.g, Announce: a.Decision()}
 	for j := range out {
 		out[j] = msg
 	}
 	return out
+}
+
+// fipScratch is the per-worker scratch of the buffered full-information
+// exchange: the arena the per-round graph clones are bump-allocated in.
+type fipScratch struct {
+	arena *graph.Arena
+}
+
+// Reset recycles the arena (detached graphs keep their memory).
+func (s *fipScratch) Reset() { s.arena.Reset() }
+
+// fipScratchPool recycles scratch across acquire/release cycles; the
+// arenas inside keep their slabs only when no graph escaped, so pooling
+// never aliases retained memory.
+var fipScratchPool = sync.Pool{
+	New: func() any { return &fipScratch{arena: graph.NewArena()} },
+}
+
+// AcquireScratch returns an arena-backed scratch for one worker.
+func (e *FIP) AcquireScratch() model.Scratch { return fipScratchPool.Get().(*fipScratch) }
+
+// ReleaseScratch returns the scratch to the pool.
+func (e *FIP) ReleaseScratch(sc model.Scratch) {
+	if fs, ok := sc.(*fipScratch); ok && fs != nil {
+		fipScratchPool.Put(fs)
+	}
 }
 
 // Update advances time, extends the graph by one round, records which
@@ -110,8 +151,23 @@ func (e *FIP) Messages(_ model.AgentID, s model.State, a model.Action) []model.M
 // components. The agent's own in-edge is always Sent: self-delivery is
 // memory and is not subject to the adversary (footnote 3 of the paper).
 func (e *FIP) Update(i model.AgentID, s model.State, a model.Action, received []model.Message) model.State {
+	return e.UpdateScratch(i, s, a, received, nil)
+}
+
+// UpdateScratch is Update with the per-round graph built in the scratch
+// arena (merge-in-place, as always): the zero-allocation δ of the
+// buffered path. With a nil scratch it is exactly Update. The produced
+// state references arena memory and must be Detach-ed before it outlives
+// the next Scratch.Reset; the engine does this for everything reachable
+// from a returned Result.
+func (e *FIP) UpdateScratch(i model.AgentID, s model.State, a model.Action, received []model.Message, sc model.Scratch) model.State {
 	st := s.(FIPState)
-	ng := st.g.CloneExtended()
+	var ng *graph.Graph
+	if fs, ok := sc.(*fipScratch); ok && fs != nil {
+		ng = st.g.CloneExtendedIn(fs.arena)
+	} else {
+		ng = st.g.CloneExtended()
+	}
 	for j := 0; j < e.n; j++ {
 		jj := model.AgentID(j)
 		if jj == i {

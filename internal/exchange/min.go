@@ -63,7 +63,9 @@ func minKey(tag string, time int, vs ...model.Value) string {
 
 // Min is the minimal information-exchange protocol Emin(n).
 type Min struct {
-	n int
+	scratchless
+	n       int
+	initial [2]model.State
 }
 
 // NewMin returns Emin for n agents.
@@ -71,7 +73,12 @@ func NewMin(n int) *Min {
 	if n <= 0 {
 		panic("exchange: NewMin with n <= 0")
 	}
-	return &Min{n: n}
+	e := &Min{n: n}
+	// The two possible time-0 states, interned so Initial never boxes on
+	// the sweep hot path (states are immutable values).
+	e.initial[0] = MinState{init: model.Zero, decided: model.None, jd: model.None}
+	e.initial[1] = MinState{init: model.One, decided: model.None, jd: model.None}
+	return e
 }
 
 // Name returns "Emin".
@@ -82,20 +89,34 @@ func (e *Min) N() int { return e.n }
 
 // Initial returns ⟨0, init, ⊥, ⊥⟩.
 func (e *Min) Initial(_ model.AgentID, init model.Value) model.State {
+	if init.IsSet() {
+		return e.initial[init]
+	}
 	return MinState{init: init, decided: model.None, jd: model.None}
 }
 
 // Messages broadcasts the decided bit in a deciding round and stays silent
 // otherwise (μ of Emin).
-func (e *Min) Messages(_ model.AgentID, _ model.State, a model.Action) []model.Message {
-	out := make([]model.Message, e.n)
+func (e *Min) Messages(i model.AgentID, s model.State, a model.Action) []model.Message {
+	return e.MessagesInto(i, s, a, make([]model.Message, e.n))
+}
+
+// MessagesInto is Messages broadcasting into the caller's slice.
+func (e *Min) MessagesInto(_ model.AgentID, _ model.State, a model.Action, out []model.Message) []model.Message {
+	var msg model.Message
 	if d := a.Decision(); d.IsSet() {
-		msg := MinMsg{V: d}
-		for j := range out {
-			out[j] = msg
-		}
+		msg = MinMsg{V: d}
+	}
+	for j := range out {
+		out[j] = msg
 	}
 	return out
+}
+
+// UpdateScratch is Update; Emin's δ allocates nothing, so there is no
+// scratch to draw from.
+func (e *Min) UpdateScratch(i model.AgentID, s model.State, a model.Action, received []model.Message, _ model.Scratch) model.State {
+	return e.Update(i, s, a, received)
 }
 
 // Update advances time, records the decision taken this round, and sets jd

@@ -87,7 +87,9 @@ func (s ReportState) Key() string {
 // Report is the Ereport information-exchange protocol: Emin plus a
 // persistent (init,0) report broadcast by agents with initial preference 0.
 type Report struct {
-	n int
+	scratchless
+	n       int
+	initial [2]model.State
 }
 
 // NewReport returns Ereport for n agents.
@@ -95,7 +97,11 @@ func NewReport(n int) *Report {
 	if n <= 0 {
 		panic("exchange: NewReport with n <= 0")
 	}
-	return &Report{n: n}
+	e := &Report{n: n}
+	// Interned time-0 states (see Min.Initial).
+	e.initial[0] = ReportState{init: model.Zero, decided: model.None, jd: model.None}
+	e.initial[1] = ReportState{init: model.One, decided: model.None, jd: model.None}
+	return e
 }
 
 // Name returns "Ereport".
@@ -106,6 +112,9 @@ func (e *Report) N() int { return e.n }
 
 // Initial returns ⟨0, init, ⊥, ⊥, false⟩.
 func (e *Report) Initial(_ model.AgentID, init model.Value) model.State {
+	if init.IsSet() {
+		return e.initial[init]
+	}
 	return ReportState{init: init, decided: model.None, jd: model.None}
 }
 
@@ -113,8 +122,12 @@ func (e *Report) Initial(_ model.AgentID, init model.Value) model.State {
 // agent whose initial preference is 0 broadcasts (init,0) — even after it
 // has decided, which is exactly the late-report behavior the introduction
 // exploits.
-func (e *Report) Messages(_ model.AgentID, s model.State, a model.Action) []model.Message {
-	out := make([]model.Message, e.n)
+func (e *Report) Messages(i model.AgentID, s model.State, a model.Action) []model.Message {
+	return e.MessagesInto(i, s, a, make([]model.Message, e.n))
+}
+
+// MessagesInto is Messages broadcasting into the caller's slice.
+func (e *Report) MessagesInto(_ model.AgentID, s model.State, a model.Action, out []model.Message) []model.Message {
 	var msg model.Message
 	switch d := a.Decision(); {
 	case d == model.Zero:
@@ -126,13 +139,16 @@ func (e *Report) Messages(_ model.AgentID, s model.State, a model.Action) []mode
 			msg = ReportMsg{Kind: ReportInit0}
 		}
 	}
-	if msg == nil {
-		return out
-	}
 	for j := range out {
 		out[j] = msg
 	}
 	return out
+}
+
+// UpdateScratch is Update; Ereport's δ allocates nothing, so there is no
+// scratch to draw from.
+func (e *Report) UpdateScratch(i model.AgentID, s model.State, a model.Action, received []model.Message, _ model.Scratch) model.State {
+	return e.Update(i, s, a, received)
 }
 
 // Update advances time, records decisions and jd as in Emin, and latches

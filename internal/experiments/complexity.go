@@ -102,9 +102,9 @@ func E1MessageComplexity() *Table {
 				pat = adversary.Example71(c.n, c.tf, c.tf+2)
 			}
 			inits := adversary.UniformInits(c.n, model.One)
-			minBits := mustRun(core.Min(c.n, c.tf), pat, inits).Stats.BitsSent
-			basicBits := mustRun(core.Basic(c.n, c.tf), pat, inits).Stats.BitsSent
-			fipBits := mustRun(core.FIP(c.n, c.tf), pat, inits).Stats.BitsSent
+			minBits := mustRun(stackFor("min", c.n, c.tf), pat, inits).Stats.BitsSent
+			basicBits := mustRun(stackFor("basic", c.n, c.tf), pat, inits).Stats.BitsSent
+			fipBits := mustRun(stackFor("fip", c.n, c.tf), pat, inits).Stats.BitsSent
 
 			exactMin := int64(c.n * c.n)
 			boundBasic := int64(2 * c.n * c.n * (c.tf + 2))
@@ -133,10 +133,10 @@ func E2FailureFreeZero() *Table {
 		Pass:    true,
 	}
 	n, tf := 5, 2
-	stacks := []core.Stack{core.Min(n, tf), core.Basic(n, tf), core.FIP(n, tf)}
+	stacks := []core.Stack{stackFor("min", n, tf), stackFor("basic", n, tf), stackFor("fip", n, tf)}
 	for _, st := range stacks {
 		maxRound, vectors, allZero := 0, 0, true
-		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+		forEachInits(n, func(inits []model.Value) bool {
 			hasZero := false
 			for _, v := range inits {
 				if v == model.Zero {
@@ -180,9 +180,9 @@ func E3FailureFreeOnes() *Table {
 	for _, c := range []struct{ n, tf int }{{4, 1}, {5, 2}, {6, 3}, {8, 4}} {
 		inits := adversary.UniformInits(c.n, model.One)
 		pat := adversary.FailureFree(c.n, c.tf+2)
-		rMin := mustRun(core.Min(c.n, c.tf), pat, inits).MaxDecisionRound(false)
-		rBasic := mustRun(core.Basic(c.n, c.tf), pat, inits).MaxDecisionRound(false)
-		rFip := mustRun(core.FIP(c.n, c.tf), pat, inits).MaxDecisionRound(false)
+		rMin := mustRun(stackFor("min", c.n, c.tf), pat, inits).MaxDecisionRound(false)
+		rBasic := mustRun(stackFor("basic", c.n, c.tf), pat, inits).MaxDecisionRound(false)
+		rFip := mustRun(stackFor("fip", c.n, c.tf), pat, inits).MaxDecisionRound(false)
 		if rMin != c.tf+2 || rBasic != 2 || rFip != 2 {
 			t.Pass = false
 		}
@@ -210,9 +210,9 @@ func E4Example71() *Table {
 		st   core.Stack
 		want int
 	}{
-		{core.FIP(n, tf), 3},
-		{core.Min(n, tf), 12},
-		{core.Basic(n, tf), 12},
+		{stackFor("fip", n, tf), 3},
+		{stackFor("min", n, tf), 12},
+		{stackFor("basic", n, tf), 12},
 	} {
 		got := mustRun(c.st, pat, inits).MaxDecisionRound(true)
 		if got != c.want {

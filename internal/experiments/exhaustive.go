@@ -30,14 +30,14 @@ func E17ExhaustiveSpec() *Table {
 		crash bool
 	}
 	cases := []cfg{
-		{core.Min(3, 1), false},
-		{core.Basic(3, 1), false},
-		{core.FIP(3, 1), false},
-		{core.FIPNoCK(3, 1), false},
-		{core.Min(4, 1), false},
-		{core.Basic(4, 1), false},
-		{core.Min(3, 1), true},
-		{core.FIP(3, 1), true},
+		{stackFor("min", 3, 1), false},
+		{stackFor("basic", 3, 1), false},
+		{stackFor("fip", 3, 1), false},
+		{stackFor("fip-nock", 3, 1), false},
+		{stackFor("min", 4, 1), false},
+		{stackFor("basic", 4, 1), false},
+		{stackFor("min", 3, 1), true},
+		{stackFor("fip", 3, 1), true},
 	}
 	for _, c := range cases {
 		var pats source.Patterns

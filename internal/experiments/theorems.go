@@ -51,8 +51,8 @@ func E6ImplementsMin(parallelism int) *Table {
 		Columns: []string{"context", "runs", "mismatches"},
 		Pass:    true,
 	}
-	implementsRow(t, "γ_min(n=3,t=1)", core.Min(3, 1), episteme.P0, parallelism)
-	implementsRow(t, "γ_min(n=4,t=1)", core.Min(4, 1), episteme.P0, parallelism)
+	implementsRow(t, "γ_min(n=3,t=1)", stackFor("min", 3, 1), episteme.P0, parallelism)
+	implementsRow(t, "γ_min(n=4,t=1)", stackFor("min", 4, 1), episteme.P0, parallelism)
 	return t
 }
 
@@ -66,8 +66,8 @@ func E7ImplementsBasic(parallelism int) *Table {
 		Columns: []string{"context", "runs", "mismatches"},
 		Pass:    true,
 	}
-	implementsRow(t, "γ_basic(n=3,t=1)", core.Basic(3, 1), episteme.P0, parallelism)
-	implementsRow(t, "γ_basic(n=4,t=1)", core.Basic(4, 1), episteme.P0, parallelism)
+	implementsRow(t, "γ_basic(n=3,t=1)", stackFor("basic", 3, 1), episteme.P0, parallelism)
+	implementsRow(t, "γ_basic(n=4,t=1)", stackFor("basic", 4, 1), episteme.P0, parallelism)
 	return t
 }
 
@@ -83,7 +83,7 @@ func E8ImplementsFIP(parallelism int) *Table {
 		Columns: []string{"context", "runs", "mismatches"},
 		Pass:    true,
 	}
-	implementsRow(t, "γ_fip(n=3,t=1)", core.FIP(3, 1), episteme.P1, parallelism)
+	implementsRow(t, "γ_fip(n=3,t=1)", stackFor("fip", 3, 1), episteme.P1, parallelism)
 	return t
 }
 
@@ -99,7 +99,7 @@ func E9Optimality(parallelism int) *Table {
 		Pass:    true,
 	}
 	ctx := context.Background()
-	sysOpt, err := buildStackSystem(core.FIP(3, 1), parallelism)
+	sysOpt, err := buildStackSystem(stackFor("fip", 3, 1), parallelism)
 	if err != nil {
 		panic(err)
 	}
@@ -146,9 +146,9 @@ func E10Safety(parallelism int) *Table {
 		st     core.Stack
 		expect string
 	}{
-		{"γ_min(3,1)", core.Min(3, 1), "0"},
-		{"γ_basic(3,1)", core.Basic(3, 1), "0"},
-		{"γ_fip(3,1)", core.FIP(3, 1), ">0"},
+		{"γ_min(3,1)", stackFor("min", 3, 1), "0"},
+		{"γ_basic(3,1)", stackFor("basic", 3, 1), "0"},
+		{"γ_fip(3,1)", stackFor("fip", 3, 1), ">0"},
 	} {
 		sys, err := buildStackSystem(c.st, parallelism)
 		if err != nil {
@@ -182,8 +182,8 @@ func E14Synthesis(parallelism int) *Table {
 		label string
 		st    core.Stack
 	}{
-		{"γ_min(3,1)", core.Min(3, 1)},
-		{"γ_basic(3,1)", core.Basic(3, 1)},
+		{"γ_min(3,1)", stackFor("min", 3, 1)},
+		{"γ_basic(3,1)", stackFor("basic", 3, 1)},
 	} {
 		synth, sys, err := episteme.Synthesize(context.Background(),
 			episteme.ContextFor(c.st), episteme.P0, checkOpts(parallelism)...)

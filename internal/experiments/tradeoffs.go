@@ -25,11 +25,11 @@ func E11BasicVsMin() *Table {
 	}
 	for _, c := range []struct{ n, tf int }{{3, 1}, {4, 1}, {5, 2}, {6, 2}} {
 		improved := 0
-		adversary.EnumerateInits(c.n, func(inits []model.Value) bool {
+		forEachInits(c.n, func(inits []model.Value) bool {
 			iv := append([]model.Value(nil), inits...)
 			pat := adversary.FailureFree(c.n, c.tf+2)
-			rb := mustRun(core.Basic(c.n, c.tf), pat, iv)
-			rm := mustRun(core.Min(c.n, c.tf), pat, iv)
+			rb := mustRun(stackFor("basic", c.n, c.tf), pat, iv)
+			rm := mustRun(stackFor("min", c.n, c.tf), pat, iv)
 			for i := 0; i < c.n; i++ {
 				if rb.Round(model.AgentID(i)) < rm.Round(model.AgentID(i)) {
 					improved++
@@ -146,12 +146,12 @@ func E13CrashVsOmission() *Table {
 		crash  bool
 		expect string
 	}{
-		{core.Naive(n, tf), false, ">0"},
-		{core.Naive(n, tf), true, "0"},
-		{core.Min(n, tf), false, "0"},
-		{core.Min(n, tf), true, "0"},
-		{core.Basic(n, tf), false, "0"},
-		{core.FIP(n, tf), false, "0"},
+		{stackFor("naive", n, tf), false, ">0"},
+		{stackFor("naive", n, tf), true, "0"},
+		{stackFor("min", n, tf), false, "0"},
+		{stackFor("min", n, tf), true, "0"},
+		{stackFor("basic", n, tf), false, "0"},
+		{stackFor("fip", n, tf), false, "0"},
 	} {
 		runs, violations := count(c.st, c.crash)
 		kind := "SO"

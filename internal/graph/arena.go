@@ -1,0 +1,219 @@
+package graph
+
+import "repro/internal/model"
+
+// Arena is a chunked slab allocator for communication graphs: the Graph
+// structs, preference vectors, row-header slices, and flat label matrices
+// of arena-backed graphs are bump-allocated from a handful of slabs
+// instead of one heap object each. It exists for the full-information
+// exchange's hot path, where every agent builds one extended graph per
+// round: with an arena a whole run costs O(1) slab allocations instead
+// of four heap objects per agent per round.
+//
+// Ownership model (see also engine.Buffers):
+//
+//   - An Arena belongs to one goroutine at a time; it is not safe for
+//     concurrent use.
+//   - Reset recycles the arena for the next run. If nothing allocated
+//     since the previous Reset escaped, the current slabs are rewound and
+//     reused in place. If any graph was Detach-ed, the live slabs are
+//     abandoned to the garbage collector — they stay exactly as they are
+//     for as long as the escaping graphs need them — and fresh slabs are
+//     carved on demand, sized to the previous epochs' high-water mark so
+//     a steady-state sweep pays one right-sized slab per kind per run.
+//   - Graph.Detach marks a graph (and therefore the slabs backing it) as
+//     escaping. Detach is O(1): rather than copying the graph out of the
+//     arena, it pins the arena's current epoch so Reset never recycles
+//     the memory. For Efip this is the right trade — every per-round
+//     graph is retained by the run's trace, so a copying detach would
+//     redo all the work the arena saved.
+//
+// Slabs that fill up mid-epoch are dropped from the arena immediately
+// (they live on only through the graphs allocated in them), so only the
+// current slabs are ever candidates for reuse and an escape can never be
+// missed.
+type Arena struct {
+	graphs slab[Graph]
+	prefs  slab[model.Value]
+	rows   slab[[]Label]
+	labels slab[Label]
+	// escaped is set by Detach: at least one graph allocated since the
+	// last Reset is retained beyond the arena's recycling horizon.
+	escaped bool
+}
+
+// Minimum slab granularities, in entries. Deliberately small: an epoch
+// whose graphs escape pins its whole slab (cap, not len), so outsized
+// floors would be retained as slack by every detached state — the
+// model checker's memo interns rows from epochs that often carve just a
+// handful of graphs. The usage hint, not the floor, is what sizes the
+// slabs of big workloads.
+const (
+	graphSlabMin = 8
+	prefSlabMin  = 32
+	rowSlabMin   = 32
+	labelSlabMin = 256
+)
+
+// slab is one kind's bump allocator: a current chunk carved from the
+// front, a per-epoch usage counter, and a high-water hint that sizes the
+// chunks of future epochs.
+type slab[T any] struct {
+	cur  []T
+	used int // entries handed out this epoch, across all chunks
+	hint int // high-water mark of past epochs (slow decay)
+	min  int // floor for chunk sizes
+}
+
+// alloc carves k entries. Contents are stale after a rewind; callers
+// must fully initialize what they receive.
+func (s *slab[T]) alloc(k int) []T {
+	if cap(s.cur)-len(s.cur) < k {
+		// The filled chunk is dropped (it lives on through the graphs in
+		// it); the replacement is sized to the workload: at least the
+		// historical high-water mark, at least double what this epoch
+		// already used (so overflow chunks stay O(log) per epoch), and
+		// at least k.
+		size := s.hint
+		if d := 2 * s.used; d > size {
+			size = d
+		}
+		if size < s.min {
+			size = s.min
+		}
+		if size < k {
+			size = k
+		}
+		s.cur = make([]T, 0, size)
+	}
+	out := s.cur[len(s.cur) : len(s.cur)+k : len(s.cur)+k]
+	s.cur = s.cur[:len(s.cur)+k]
+	s.used += k
+	return out
+}
+
+// reset closes the epoch: it folds the usage into the hint — following
+// usage up immediately (so a big epoch never pays repeated overflow
+// chunks twice) and decaying geometrically when epochs shrink (so a
+// burst of big epochs cannot leave every later small epoch pinning an
+// outsized abandoned slab) — and either rewinds the current chunk for
+// reuse or abandons it to the escaping graphs.
+func (s *slab[T]) reset(abandon bool) {
+	if s.used > s.hint {
+		s.hint = s.used
+	} else {
+		s.hint -= (s.hint - s.used) / 4
+	}
+	s.used = 0
+	if abandon {
+		s.cur = nil
+		return
+	}
+	s.cur = s.cur[:0]
+}
+
+// NewArena returns an empty arena. Slabs are carved lazily on first use.
+func NewArena() *Arena {
+	return &Arena{
+		graphs: slab[Graph]{min: graphSlabMin},
+		prefs:  slab[model.Value]{min: prefSlabMin},
+		rows:   slab[[]Label]{min: rowSlabMin},
+		labels: slab[Label]{min: labelSlabMin},
+	}
+}
+
+// Reset recycles the arena for the next run: rewinds the current slabs
+// when nothing escaped, abandons them to the garbage collector when a
+// graph was detached since the last Reset. Callers must guarantee that no
+// graph allocated since the previous Reset is still referenced, except
+// through Detach.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.graphs.reset(a.escaped)
+	a.prefs.reset(a.escaped)
+	a.rows.reset(a.escaped)
+	a.labels.reset(a.escaped)
+	a.escaped = false
+}
+
+// escape pins the current epoch: Reset will abandon the live slabs
+// instead of rewinding them.
+func (a *Arena) escape() {
+	if a != nil {
+		a.escaped = true
+	}
+}
+
+// newGraph carves one Graph struct. The slot's fields are fully assigned
+// by the callers; only the cached key (which survives slab rewinds) is
+// cleared here.
+func (a *Arena) newGraph() *Graph {
+	g := &a.graphs.alloc(1)[0]
+	g.key.Store(nil)
+	g.arena = a
+	return g
+}
+
+// New returns the time-0 communication graph of the given agent,
+// allocated in the arena. A nil arena falls back to the plain heap New.
+func (a *Arena) New(owner model.AgentID, n int) *Graph {
+	if a == nil {
+		return New(owner, n)
+	}
+	g := a.newGraph()
+	g.owner = owner
+	g.n = n
+	g.m = 0
+	g.prefs = a.prefs.alloc(n)
+	for i := range g.prefs {
+		g.prefs[i] = model.None
+	}
+	g.edges = nil
+	return g
+}
+
+// CloneExtendedIn is CloneExtended with every allocation drawn from the
+// arena: the per-round hot path of the buffered full-information
+// exchange. A nil arena falls back to the plain heap CloneExtended.
+func (g *Graph) CloneExtendedIn(a *Arena) *Graph {
+	if a == nil {
+		return g.CloneExtended()
+	}
+	sz := g.n * g.n
+	h := a.newGraph()
+	h.owner = g.owner
+	h.n = g.n
+	h.m = g.m + 1
+	h.prefs = a.prefs.alloc(g.n)
+	copy(h.prefs, g.prefs)
+	h.edges = a.rows.alloc(g.m + 1)
+	flat := a.labels.alloc((g.m + 1) * sz)
+	for k := range g.edges {
+		row := flat[k*sz : (k+1)*sz : (k+1)*sz]
+		copy(row, g.edges[k])
+		h.edges[k] = row
+	}
+	last := flat[g.m*sz : (g.m+1)*sz : (g.m+1)*sz]
+	for i := range last {
+		last[i] = Unknown
+	}
+	h.edges[g.m] = last
+	return h
+}
+
+// Detach freezes the graph against arena recycling: after Detach the
+// graph may be retained indefinitely — in an engine Result, a trace, or
+// the model checker's interned state rows — and no subsequent
+// Arena.Reset will ever hand its backing memory to another graph. It is
+// idempotent, O(1) (it pins the arena's current slab epoch rather than
+// copying), safe on plain heap graphs (a no-op), and returns the graph
+// for chaining.
+func (g *Graph) Detach() *Graph {
+	if g.arena != nil {
+		g.arena.escape()
+		g.arena = nil
+	}
+	return g
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// buildSample fills g with a deterministic mix of labels and prefs.
+func buildSample(g *Graph, rounds int) {
+	n := g.N()
+	g.SetPref(g.Owner(), model.One)
+	for k := 0; k < rounds; k++ {
+		g.Extend()
+		for i := 0; i < n; i++ {
+			if (i+k)%3 != 0 {
+				g.SetEdge(k, model.AgentID(i), g.Owner(), Sent)
+			}
+		}
+	}
+}
+
+// TestArenaNewMatchesHeapNew checks the arena-backed constructor is
+// observationally identical to the plain one.
+func TestArenaNewMatchesHeapNew(t *testing.T) {
+	a := NewArena()
+	ag := a.New(2, 4)
+	hg := New(2, 4)
+	if ag.Key() != hg.Key() {
+		t.Fatalf("arena New key %q, heap New key %q", ag.Key(), hg.Key())
+	}
+	buildSample(ag, 3)
+	buildSample(hg, 3)
+	if ag.Key() != hg.Key() {
+		t.Fatalf("after mutation: arena key %q, heap key %q", ag.Key(), hg.Key())
+	}
+}
+
+// TestCloneExtendedInMatchesCloneExtended checks the arena-backed
+// per-round clone is observationally identical to the plain one, over a
+// chain of rounds (the fip hot path's access pattern).
+func TestCloneExtendedInMatchesCloneExtended(t *testing.T) {
+	a := NewArena()
+	base := New(1, 5)
+	buildSample(base, 2)
+	ag, hg := base, base
+	for r := 0; r < 4; r++ {
+		ag = ag.CloneExtendedIn(a)
+		hg = hg.CloneExtended()
+		ag.SetEdge(ag.M()-1, 0, 1, Sent)
+		hg.SetEdge(hg.M()-1, 0, 1, Sent)
+		if ag.Key() != hg.Key() {
+			t.Fatalf("round %d: arena clone key %q, heap clone key %q", r, ag.Key(), hg.Key())
+		}
+	}
+	// A nil arena falls back to the heap path.
+	if g := base.CloneExtendedIn(nil); g.Key() != base.CloneExtended().Key() {
+		t.Fatal("CloneExtendedIn(nil) diverged from CloneExtended")
+	}
+	if g := (*Arena)(nil).New(0, 3); g.Key() != New(0, 3).Key() {
+		t.Fatal("(*Arena)(nil).New diverged from New")
+	}
+}
+
+// TestArenaResetRecyclesWithoutDetach documents the danger Detach
+// guards against: without Detach, Reset rewinds the slabs, and a later
+// allocation from the recycled arena reuses the earlier graph's memory.
+func TestArenaResetRecyclesWithoutDetach(t *testing.T) {
+	a := NewArena()
+	g1 := a.New(0, 3).CloneExtendedIn(a)
+	g1.SetEdge(0, 1, 0, Sent)
+	a.Reset()
+	// The same allocation sequence from the rewound arena lands in the
+	// same slots: h shares g1's backing memory (h even is g1's struct).
+	h := a.New(1, 3).CloneExtendedIn(a)
+	h.SetEdge(0, 2, 1, NotSent)
+	if g1.Edge(0, 2, 1) != NotSent || g1.Edge(0, 1, 0) == Sent {
+		t.Fatal("expected aliasing after Reset without Detach (the hazard Detach exists for)")
+	}
+}
+
+// TestDetachPinsMemoryAcrossReset checks the Detach guarantee: a
+// detached graph survives any number of Resets and subsequent
+// allocations untouched, and later allocations never alias it.
+func TestDetachPinsMemoryAcrossReset(t *testing.T) {
+	a := NewArena()
+	g1 := a.New(0, 3)
+	g1.SetPref(0, model.One)
+	for r := 0; r < 3; r++ {
+		g1 = g1.CloneExtendedIn(a)
+		g1.SetEdge(r, 1, 0, Sent)
+	}
+	key := g1.Key()
+	if g1.Detach() != g1 {
+		t.Fatal("Detach must return the receiver")
+	}
+	g1.Detach() // idempotent
+	a.Reset()
+	for r := 0; r < 5; r++ {
+		g := a.New(1, 3)
+		for k := 0; k < 4; k++ {
+			g = g.CloneExtendedIn(a)
+			// Scribble every slot the new round exposes.
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					g.SetEdge(k, model.AgentID(i), model.AgentID(j), NotSent)
+				}
+			}
+		}
+		a.Reset()
+	}
+	if g1.Key() != key {
+		t.Fatalf("detached graph mutated: key %q, want %q", g1.Key(), key)
+	}
+	// Detaching a plain heap graph is a harmless no-op.
+	h := New(0, 2)
+	if h.Detach() != h {
+		t.Fatal("heap-graph Detach must return the receiver")
+	}
+}
+
+// TestArenaSlabOverflow drives an allocation past the slab granularity
+// and checks graphs stay intact (full slabs are abandoned to the graphs
+// that live in them).
+func TestArenaSlabOverflow(t *testing.T) {
+	a := NewArena()
+	n := 16
+	var graphs []*Graph
+	var keys []string
+	g := a.New(0, n)
+	g.SetPref(0, model.Zero)
+	// ~40 rounds of 16x16 labels per clone overflows the 64KiB label
+	// slab several times over.
+	for r := 0; r < 40; r++ {
+		g = g.CloneExtendedIn(a)
+		g.SetEdge(g.M()-1, model.AgentID(r%n), 0, Sent)
+		graphs = append(graphs, g)
+		keys = append(keys, g.Key())
+	}
+	for i, gg := range graphs {
+		if gg.Key() != keys[i] {
+			t.Fatalf("graph %d mutated by later slab allocations", i)
+		}
+	}
+}

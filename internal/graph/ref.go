@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -20,14 +21,30 @@ import (
 //
 // A Ref is valid for the single graph it was created for; create a new one
 // after the graph changes. It is not safe for concurrent use.
+//
+// Ref is P_opt's per-round decision cost, so its memo storage is built
+// for reuse: AcquireRef/AcquireRefNoCK draw an analyzer from a pool and
+// Release returns it with the memo maps cleared (not freed) and the
+// reachability grids' flat backing rewound — an Act evaluation then
+// allocates nothing in steady state. NewRef/NewRefNoCK construct
+// throwaway analyzers with the same behavior.
 type Ref struct {
 	t     int
 	g     *Graph
 	useCK bool
 
-	reachMemo map[point][][]bool
+	// reachMemo stores flat reach grids: the grid for (j,k) has stride
+	// k+1 and cell [a*(k+1)+kp] = (a,kp) →_G (j,k).
+	reachMemo map[point][]bool
 	decMemo   map[point]decEntry
 	fMemo     map[point]agentSet
+
+	// bools and ints are bump storage backing the reach grids and
+	// Cond1's per-agent scratch (bump rather than fixed slices because
+	// Cond1 re-enters itself through the Decision recursion). Both are
+	// rewound on Acquire, so they are reused across Release/Acquire.
+	bools []bool
+	ints  []int
 }
 
 // point is an (agent, time) pair.
@@ -64,29 +81,123 @@ func NewRefNoCK(t int, g *Graph) *Ref {
 }
 
 func newRef(t int, g *Graph, useCK bool) *Ref {
+	refValidate(t, g)
+	r := &Ref{}
+	r.bind(t, g, useCK)
+	return r
+}
+
+func refValidate(t int, g *Graph) {
 	if g.N() > 64 {
 		panic(fmt.Sprintf("graph: Ref supports at most 64 agents, got %d", g.N()))
 	}
 	if t < 0 || t >= g.N() {
 		panic(fmt.Sprintf("graph: Ref needs 0 <= t < n, got t=%d n=%d", t, g.N()))
 	}
-	return &Ref{
-		t:         t,
-		g:         g,
-		useCK:     useCK,
-		reachMemo: make(map[point][][]bool),
-		decMemo:   make(map[point]decEntry),
-		fMemo:     make(map[point]agentSet),
-	}
 }
 
-// reachTo memoizes g.ReachTo.
-func (r *Ref) reachTo(j model.AgentID, k int) [][]bool {
-	p := point{j, k}
+// bind points the analyzer at a graph, recycling the memo storage.
+func (r *Ref) bind(t int, g *Graph, useCK bool) {
+	r.t, r.g, r.useCK = t, g, useCK
+	if r.reachMemo == nil {
+		r.reachMemo = make(map[point][]bool, 8)
+		r.decMemo = make(map[point]decEntry, 16)
+		r.fMemo = make(map[point]agentSet, 16)
+		return
+	}
+	clear(r.reachMemo)
+	clear(r.decMemo)
+	clear(r.fMemo)
+	r.bools = r.bools[:0]
+	r.ints = r.ints[:0]
+}
+
+// refPool recycles analyzers across AcquireRef/Release cycles; the maps
+// keep their buckets and the grid backing keeps its capacity, so a
+// steady-state Act evaluation allocates nothing.
+var refPool = sync.Pool{New: func() any { return new(Ref) }}
+
+// AcquireRef is NewRef drawing the analyzer from a pool; pair it with
+// Release. It is the allocation-free form the P_opt hot path uses.
+func AcquireRef(t int, g *Graph) *Ref {
+	refValidate(t, g)
+	r := refPool.Get().(*Ref)
+	r.bind(t, g, true)
+	return r
+}
+
+// AcquireRefNoCK is NewRefNoCK drawing the analyzer from a pool; pair it
+// with Release.
+func AcquireRefNoCK(t int, g *Graph) *Ref {
+	refValidate(t, g)
+	r := refPool.Get().(*Ref)
+	r.bind(t, g, false)
+	return r
+}
+
+// Release returns a pooled analyzer. The Ref must not be used afterwards.
+func (r *Ref) Release() {
+	r.g = nil
+	refPool.Put(r)
+}
+
+// allocBools carves a zeroed k-cell grid from the bump storage.
+func (r *Ref) allocBools(k int) []bool {
+	if cap(r.bools)-len(r.bools) < k {
+		size := 1 << 10
+		if k > size {
+			size = k
+		}
+		r.bools = make([]bool, 0, size)
+	}
+	out := r.bools[len(r.bools) : len(r.bools)+k : len(r.bools)+k]
+	r.bools = r.bools[:len(r.bools)+k]
+	for i := range out {
+		out[i] = false
+	}
+	return out
+}
+
+// allocInts carves k cells of integer scratch from the bump storage.
+func (r *Ref) allocInts(k int) []int {
+	if cap(r.ints)-len(r.ints) < k {
+		size := 256
+		if k > size {
+			size = k
+		}
+		r.ints = make([]int, 0, size)
+	}
+	out := r.ints[len(r.ints) : len(r.ints)+k : len(r.ints)+k]
+	r.ints = r.ints[:len(r.ints)+k]
+	return out
+}
+
+// reachTo computes (and memoizes) the hears-from grid for (j,k) as a
+// flat slice with stride k+1: cell [a*(k+1)+kp] reports (a,kp) →_G (j,k).
+// It is Graph.ReachTo on the Ref's recycled storage.
+func (r *Ref) reachTo(j model.AgentID, mj int) []bool {
+	p := point{j, mj}
 	if grid, ok := r.reachMemo[p]; ok {
 		return grid
 	}
-	grid := r.g.ReachTo(j, k)
+	n := r.g.N()
+	stride := mj + 1
+	grid := r.allocBools(n * stride)
+	grid[int(j)*stride+mj] = true
+	for k := mj - 1; k >= 0; k-- {
+		for a := 0; a < n; a++ {
+			if grid[a*stride+k+1] {
+				grid[a*stride+k] = true // self-step
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if grid[b*stride+k+1] && r.g.Edge(k, model.AgentID(a), model.AgentID(b)) == Sent {
+					grid[a*stride+k] = true
+					break
+				}
+			}
+		}
+	}
 	r.reachMemo[p] = grid
 	return grid
 }
@@ -97,7 +208,7 @@ func (r *Ref) Known(j model.AgentID, k int) bool {
 	if k < 0 || k > r.g.M() {
 		return false
 	}
-	return r.reachTo(r.g.Owner(), r.g.M())[j][k]
+	return r.reachTo(r.g.Owner(), r.g.M())[int(j)*(r.g.M()+1)+k]
 }
 
 // OwnerAction is the P_opt action of the graph's owner at the graph's
@@ -218,8 +329,9 @@ func (r *Ref) pooledFaulty(fOwn agentSet, k int) agentSet {
 // held initial preference v at time k (the paper's v ∈ V(j, k, G)).
 func (r *Ref) KnowsValue(j model.AgentID, k int, v model.Value) bool {
 	reach := r.reachTo(j, k)
+	stride := k + 1
 	for a := 0; a < r.g.N(); a++ {
-		if reach[a][0] && r.g.Pref(model.AgentID(a)) == v {
+		if reach[a*stride] && r.g.Pref(model.AgentID(a)) == v {
 			return true
 		}
 	}
@@ -299,13 +411,14 @@ func (r *Ref) Cond1(j model.AgentID, k int) bool {
 		return false
 	}
 	reach := r.reachTo(j, k)
+	stride := k + 1
 
 	// len: the time of the latest 0-decision j knows about (the length of
 	// the longest known 0-chain), or -1.
 	length := -1
 	for kp := k - 1; kp >= 0 && length < 0; kp-- {
 		for c := 0; c < r.g.N(); c++ {
-			if !reach[c][kp] {
+			if !reach[c*stride+kp] {
 				continue
 			}
 			if a, known := r.Decision(model.AgentID(c), kp); known && a == model.Decide0 {
@@ -316,13 +429,15 @@ func (r *Ref) Cond1(j model.AgentID, k int) bool {
 	}
 
 	// last[c]: the latest time kp with (c,kp) → (j,k), or -1; undec[c]:
-	// whether c was still undecided at its last contact.
-	last := make([]int, r.g.N())
-	undec := make([]bool, r.g.N())
+	// whether c was still undecided at its last contact. Carved from the
+	// bump storage: the Decision calls below may re-enter Cond1, so the
+	// scratch cannot be a shared fixed slice.
+	last := r.allocInts(r.g.N())
+	undec := r.allocBools(r.g.N())
 	for c := 0; c < r.g.N(); c++ {
 		last[c] = -1
 		for kp := k; kp >= 0; kp-- {
-			if reach[c][kp] {
+			if reach[c*stride+kp] {
 				last[c] = kp
 				break
 			}

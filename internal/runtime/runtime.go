@@ -16,19 +16,53 @@ import (
 )
 
 // Concurrent is the goroutine-per-agent engine.Executor: Execute is Run.
-// It ignores the scratch buffers (each agent owns its state, so there is
-// no shared per-round scratch to reuse).
+// A non-nil Buffers opts the run into scratch reuse: each agent goroutine
+// draws a pooled per-agent scratch set (double-buffered outboxes, plus —
+// when the buffers are arena-backed — the exchange's own scratch, Efip's
+// graph arena), and the router reuses one inbox per agent across rounds,
+// so WithBufferReuse is as real on the concurrent substrate as on the
+// sequential one. Traces are identical either way.
 type Concurrent struct{}
 
 // Name returns "concurrent".
 func (Concurrent) Name() string { return "concurrent" }
 
-// Execute runs the configuration on the concurrent runtime.
-func (Concurrent) Execute(cfg engine.Config, _ *engine.Buffers) (*engine.Result, error) {
-	return Run(cfg)
+// Execute runs the configuration on the concurrent runtime; a non-nil
+// buf enables per-agent scratch reuse, and an arena-backed buf
+// (engine.NewArenaBuffers) additionally engages the exchanges' own
+// scratch, mirroring the sequential engine's plain/arena distinction.
+// The engine.Buffers itself cannot be shared across the n agent
+// goroutines, so it serves as the opt-in signal while the actual
+// scratch comes from a package pool — every agent acquires and releases
+// its own set.
+func (Concurrent) Execute(cfg engine.Config, buf *engine.Buffers) (*engine.Result, error) {
+	return run(cfg, buf != nil, buf != nil && buf.ArenaBacked())
 }
 
 var _ engine.Executor = Concurrent{}
+
+// agentScratch is one agent goroutine's reusable memory: two outbox
+// slices used on alternating rounds (the router may still be reading
+// round m's outbox while the agent prepares round m+1's; it is
+// guaranteed done with round m's before round m+2 — the delivery of the
+// round-m+1 inbox happens after the round-m delivery loop completes) and
+// the exchange scratch for the buffered δ.
+type agentScratch struct {
+	outbox [2][]model.Message
+}
+
+// agentScratchPool recycles agentScratch values across runs and agents.
+var agentScratchPool = sync.Pool{New: func() any { return new(agentScratch) }}
+
+// outboxFor returns the round-m outbox sized for n agents.
+func (s *agentScratch) outboxFor(m, n int) []model.Message {
+	ob := s.outbox[m%2]
+	if cap(ob) < n {
+		ob = make([]model.Message, n)
+		s.outbox[m%2] = ob
+	}
+	return ob[:n]
+}
 
 // agentReport is what an agent hands the router each round: the action it
 // performed and the messages it wants sent.
@@ -41,7 +75,12 @@ type agentReport struct {
 
 // Run executes the configuration with one goroutine per agent. The result
 // is identical to engine.Run's for the same configuration.
-func Run(cfg engine.Config) (res *engine.Result, err error) {
+func Run(cfg engine.Config) (*engine.Result, error) { return run(cfg, false, false) }
+
+// run is Run with optional scratch reuse; pooled additionally engages
+// the exchanges' own scratch (the arenas), matching the sequential
+// engine's NewBuffers/NewArenaBuffers split.
+func run(cfg engine.Config, reuse, pooled bool) (res *engine.Result, err error) {
 	ex, act, pat := cfg.Exchange, cfg.Action, cfg.Pattern
 	if ex == nil || act == nil || pat == nil {
 		return nil, fmt.Errorf("runtime: Exchange, Action, and Pattern are all required")
@@ -64,6 +103,10 @@ func Run(cfg engine.Config) (res *engine.Result, err error) {
 	}
 	if horizon < 0 {
 		return nil, fmt.Errorf("runtime: negative horizon %d", horizon)
+	}
+	var bex model.BufferedExchange
+	if reuse {
+		bex, _ = ex.(model.BufferedExchange)
 	}
 
 	res = &engine.Result{
@@ -112,9 +155,27 @@ func Run(cfg engine.Config) (res *engine.Result, err error) {
 					}
 				}
 			}()
+			var scratch *agentScratch
+			var exScratch model.Scratch
+			if bex != nil {
+				scratch = agentScratchPool.Get().(*agentScratch)
+				defer agentScratchPool.Put(scratch)
+				if pooled {
+					exScratch = bex.AcquireScratch()
+					if exScratch != nil {
+						exScratch.Reset()
+						defer bex.ReleaseScratch(exScratch)
+					}
+				}
+			}
 			for m := 0; m < horizon; m++ {
 				a := act.Act(id, state)
-				out := ex.Messages(id, state, a)
+				var out []model.Message
+				if bex != nil {
+					out = bex.MessagesInto(id, state, a, scratch.outboxFor(m, n))
+				} else {
+					out = ex.Messages(id, state, a)
+				}
 				select {
 				case reportCh <- agentReport{id: id, action: a, outbox: out}:
 				case <-done:
@@ -126,7 +187,19 @@ func Run(cfg engine.Config) (res *engine.Result, err error) {
 				case <-done:
 					return
 				}
-				state = ex.Update(id, state, a, inbox)
+				if bex != nil {
+					state = bex.UpdateScratch(id, state, a, inbox, exScratch)
+					if exScratch != nil {
+						// The state escapes into the Result's trace
+						// while this goroutine's scratch is recycled on
+						// release: freeze it.
+						if d, ok := state.(model.Detacher); ok {
+							d.DetachState()
+						}
+					}
+				} else {
+					state = ex.Update(id, state, a, inbox)
+				}
 				select {
 				case stateCh <- agentReport{id: id, state: state}:
 				case <-done:
@@ -137,7 +210,7 @@ func Run(cfg engine.Config) (res *engine.Result, err error) {
 	}
 
 	// The router drives the rounds.
-	routerErr := router(res, pat, horizon, n, reportCh, stateCh, deliver, errCh)
+	routerErr := router(res, pat, horizon, n, reuse, reportCh, stateCh, deliver, errCh)
 	close(done)
 
 	wg.Wait()
@@ -159,11 +232,23 @@ func Run(cfg engine.Config) (res *engine.Result, err error) {
 // router collects each round's reports, applies the failure pattern,
 // delivers inboxes, and records the trace. Iteration over agents is in a
 // fixed order so that statistics match the sequential engine exactly.
-func router(res *engine.Result, pat *model.Pattern, horizon, n int,
+// With reuse on it keeps one inbox per agent across rounds: agent j has
+// finished reading its round-m inbox before it reports its round-m
+// state, and the router only rebuilds the inbox after collecting all
+// round-m+1 action reports, which happen after that — the channel
+// operations carry the happens-before edges.
+func router(res *engine.Result, pat *model.Pattern, horizon, n int, reuse bool,
 	reportCh, stateCh chan agentReport, deliver []chan []model.Message, errCh chan error) error {
 
+	outboxes := make([][]model.Message, n)
+	var inboxes [][]model.Message
+	if reuse {
+		inboxes = make([][]model.Message, n)
+		for j := range inboxes {
+			inboxes[j] = make([]model.Message, n)
+		}
+	}
 	for m := 0; m < horizon; m++ {
-		outboxes := make([][]model.Message, n)
 		acts := make([]model.Action, n)
 		for k := 0; k < n; k++ {
 			select {
@@ -194,7 +279,12 @@ func router(res *engine.Result, pat *model.Pattern, horizon, n int,
 
 		states := make([]model.State, n)
 		for j := 0; j < n; j++ {
-			inbox := make([]model.Message, n)
+			var inbox []model.Message
+			if reuse {
+				inbox = inboxes[j]
+			} else {
+				inbox = make([]model.Message, n)
+			}
 			for i := 0; i < n; i++ {
 				msg := outboxes[i][j]
 				if msg != nil && !pat.Delivered(m, model.AgentID(i), model.AgentID(j)) {

@@ -87,7 +87,7 @@ func TestExecutorInterfaceMatches(t *testing.T) {
 	if executors[0].Name() != "sequential" || executors[1].Name() != "concurrent" {
 		t.Fatalf("executor names: %q, %q", executors[0].Name(), executors[1].Name())
 	}
-	buf := engine.NewBuffers()
+	buffers := []*engine.Buffers{engine.NewBuffers(), engine.NewArenaBuffers()}
 	for _, name := range registry.StackNames() {
 		info, err := registry.Stack(name)
 		if err != nil {
@@ -108,14 +108,66 @@ func TestExecutorInterfaceMatches(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Buffered sequential and (buffer-ignoring) concurrent runs
-			// must reproduce the unbuffered trace exactly.
+			// Plain-buffered and arena-backed runs on both substrates
+			// must reproduce the unbuffered trace exactly. On the
+			// concurrent executor a non-nil Buffers engages the pooled
+			// per-agent scratch (outbox double-buffers, exchange arena).
 			for _, x := range executors {
-				got, err := x.Execute(cfg, buf)
-				if err != nil {
-					t.Fatalf("%s on %s: %v", x.Name(), name, err)
+				for _, buf := range buffers {
+					got, err := x.Execute(cfg, buf)
+					if err != nil {
+						t.Fatalf("%s on %s: %v", x.Name(), name, err)
+					}
+					assertSameResult(t, want, got)
 				}
-				assertSameResult(t, want, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentReuseResultsOwnTheirMemory re-runs configurations over
+// the reuse path and checks earlier results survive untouched: the
+// per-agent pooled scratch (and the exchanges' arenas) must never alias
+// memory reachable from a returned Result.
+func TestConcurrentReuseResultsOwnTheirMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, tf := 4, 1
+	ex := exchange.NewFIP(n)
+	act := action.NewOpt(tf)
+	buf := engine.NewArenaBuffers()
+	type snap struct {
+		res  *engine.Result
+		keys []string
+	}
+	var snaps []snap
+	for trial := 0; trial < 12; trial++ {
+		pat := adversary.RandomSO(rng, n, tf, tf+2, 0.5)
+		inits := make([]model.Value, n)
+		for i := range inits {
+			inits[i] = model.Value(rng.Intn(2))
+		}
+		cfg := engine.Config{Exchange: ex, Action: act, Pattern: pat, Inits: inits}
+		res, err := Concurrent{}.Execute(cfg, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for m := range res.States {
+			for i := range res.States[m] {
+				keys = append(keys, res.States[m][i].Key())
+			}
+		}
+		snaps = append(snaps, snap{res: res, keys: keys})
+		// Every earlier result must still fingerprint identically.
+		for s, sn := range snaps {
+			k := 0
+			for m := range sn.res.States {
+				for i := range sn.res.States[m] {
+					if sn.res.States[m][i].Key() != sn.keys[k] {
+						t.Fatalf("trial %d scribbled over result %d (time %d agent %d)", trial, s, m, i)
+					}
+					k++
+				}
 			}
 		}
 	}

@@ -52,8 +52,7 @@ type Patterns interface {
 
 // SO returns the exhaustive stream of SO(t) failure patterns over n
 // agents and the given horizon, in the adversary package's canonical
-// enumeration order. It fails — instead of panicking, as the deprecated
-// adversary.EnumerateSO does — when the sweep's bounds are rejected.
+// enumeration order. It fails when the sweep's bounds are rejected.
 func SO(n, t, horizon int, opts adversary.Options) (Patterns, error) {
 	return adversary.NewSOPatterns(n, t, horizon, opts)
 }

@@ -21,17 +21,23 @@ func collectAll(t *testing.T, src Source) []core.Scenario {
 }
 
 // eagerSOScenarios is the eager-slice generation the sources replace:
-// every SO pattern × every init vector via the callback enumerators.
+// every SO pattern × every init vector, materialized up front.
 func eagerSOScenarios(n, t, horizon int) []core.Scenario {
 	var out []core.Scenario
-	adversary.EnumerateSO(n, t, horizon, adversary.Options{}, func(pat *model.Pattern) bool {
+	pats, err := adversary.NewSOPatterns(n, t, horizon, adversary.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for pat, ok := pats.Next(); ok; pat, ok = pats.Next() {
 		p := pat.Clone()
-		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+		iv, err := adversary.NewInitVectors(n)
+		if err != nil {
+			panic(err)
+		}
+		for inits, ok2 := iv.Next(); ok2; inits, ok2 = iv.Next() {
 			out = append(out, core.Scenario{Pattern: p, Inits: append([]model.Value(nil), inits...)})
-			return true
-		})
-		return true
-	})
+		}
+	}
 	return out
 }
 

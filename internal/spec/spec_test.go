@@ -182,7 +182,11 @@ func corresponding(t *testing.T, n, tf int) (runsBasic, runsMin []*engine.Result
 		adversary.FailureFree(n, tf+2),
 		adversary.Silent(n, tf+2, 0),
 	}
-	adversary.EnumerateInits(n, func(inits []model.Value) bool {
+	ivs, err := adversary.NewInitVectors(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inits, ok := ivs.Next(); ok; inits, ok = ivs.Next() {
 		iv := append([]model.Value(nil), inits...)
 		for _, pat := range patterns {
 			rb, err := engine.Run(engine.Config{
@@ -202,8 +206,7 @@ func corresponding(t *testing.T, n, tf int) (runsBasic, runsMin []*engine.Result
 			runsBasic = append(runsBasic, rb)
 			runsMin = append(runsMin, rm)
 		}
-		return true
-	})
+	}
 	return runsBasic, runsMin
 }
 

@@ -11,7 +11,7 @@ import (
 
 func sampleRun(t *testing.T) (*Record, core.Stack) {
 	t.Helper()
-	st := core.Min(3, 1)
+	st := core.MustStack("min", core.WithN(3), core.WithT(1))
 	pat := adversary.Silent(3, st.Horizon(), 0)
 	inits := []model.Value{model.Zero, model.One, model.One}
 	res, err := st.Run(pat, inits)
@@ -101,7 +101,7 @@ func TestRenderContainsKeyFacts(t *testing.T) {
 }
 
 func TestRenderSummarizesLargePayloads(t *testing.T) {
-	st := core.FIP(4, 1)
+	st := core.MustStack("fip", core.WithN(4), core.WithT(1))
 	res, err := st.Run(adversary.FailureFree(4, st.Horizon()), adversary.UniformInits(4, model.One))
 	if err != nil {
 		t.Fatal(err)
@@ -118,8 +118,8 @@ func TestDiffFindsDivergence(t *testing.T) {
 	n, tf := 3, 1
 	pat := adversary.FailureFree(n, tf+2)
 	inits := adversary.UniformInits(n, model.One)
-	b := core.Basic(n, tf)
-	m := core.Min(n, tf)
+	b := core.MustStack("basic", core.WithN(n), core.WithT(tf))
+	m := core.MustStack("min", core.WithN(n), core.WithT(tf))
 	rb, err := b.Run(pat, inits)
 	if err != nil {
 		t.Fatal(err)

@@ -62,7 +62,11 @@ func WithParallelism(k int) RunnerOption { return core.WithParallelism(k) }
 // Termination) with the given options.
 func WithSpecCheck(opts SpecOptions) RunnerOption { return core.WithSpecCheck(opts) }
 
-// WithBufferReuse gives every batch worker a private scratch buffer
-// reused across its runs, eliminating per-round allocation on the batch
-// hot path of buffer-aware executors.
+// WithBufferReuse gives every batch worker a private arena-backed
+// scratch buffer reused across its runs, eliminating per-round
+// allocation on the batch hot path — including the exchanges' own
+// allocations (Efip's per-round graphs are built in the worker's
+// arena). Results are detached from the arena before they are returned,
+// so they stay valid and mutation-safe indefinitely; traces are
+// bit-identical with or without reuse. See README "Memory model".
 func WithBufferReuse() RunnerOption { return core.WithBufferReuse() }

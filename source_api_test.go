@@ -61,14 +61,20 @@ func TestSourceSOSweepMatchesEagerSlice(t *testing.T) {
 
 	// Eager path: materialize the whole sweep, run it as a batch.
 	var scenarios []eba.Scenario
-	adversary.EnumerateSO(n, tf, horizon, adversary.Options{}, func(pat *model.Pattern) bool {
+	pats, err := adversary.NewSOPatterns(n, tf, horizon, adversary.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat, ok := pats.Next(); ok; pat, ok = pats.Next() {
 		p := pat.Clone()
-		adversary.EnumerateInits(n, func(inits []model.Value) bool {
+		ivs, err := adversary.NewInitVectors(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for inits, ok2 := ivs.Next(); ok2; inits, ok2 = ivs.Next() {
 			scenarios = append(scenarios, eba.Scenario{Pattern: p, Inits: append([]model.Value(nil), inits...)})
-			return true
-		})
-		return true
-	})
+		}
+	}
 	want, err := runner.RunBatch(context.Background(), scenarios)
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,12 @@
 // unless the arenas cut allocations per op by at least 2× against that
 // baseline.
 //
+// With -gate baseline.json:current.json (repeatable) it instead runs the
+// CI bench-regression gate: the current record fails against the
+// committed baseline on more than 25% allocs_per_op growth (engine
+// records) or a more-than-2× build_seconds regression (episteme
+// records) — strict on allocations, tolerant on wall time.
+//
 // Usage:
 //
 //	ebabench                  # everything, including the model checks
@@ -27,16 +33,32 @@
 //	ebabench -parallel 4      # 4 workers for sweeps and model checking
 //	ebabench -bench-episteme BENCH_episteme.json
 //	ebabench -bench-engine BENCH_engine.json
+//	ebabench -gate BENCH_engine.json:BENCH_engine.ci.json \
+//	         -gate BENCH_episteme.json:BENCH_episteme.ci.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// gatePairs collects repeated -gate baseline:current flags.
+type gatePairs []string
+
+func (g *gatePairs) String() string { return strings.Join(*g, ",") }
+
+func (g *gatePairs) Set(s string) error {
+	if !strings.Contains(s, ":") {
+		return fmt.Errorf("gate spec %q is not of the form baseline.json:current.json", s)
+	}
+	*g = append(*g, s)
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -56,10 +78,15 @@ func run(args []string) error {
 		engineOut = fs.String("bench-engine", "", "measure the engine's reference workloads with arenas off/on and write the perf record to this JSON file (skips the experiment tables)")
 		benchReps = fs.Int("bench-reps", 3, "repetitions per workload for -bench-episteme / -bench-engine (medians are reported)")
 	)
+	var gates gatePairs
+	fs.Var(&gates, "gate", "bench-regression gate, as baseline.json:current.json (repeatable; skips everything else)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if len(gates) > 0 {
+		return runGates(gates)
+	}
 	if *benchOut != "" {
 		return benchEpisteme(*benchOut, *parallel, *benchReps)
 	}
@@ -87,6 +114,40 @@ func run(args []string) error {
 		return fmt.Errorf("%d experiment(s) failed", failures)
 	}
 	fmt.Println("all experiments reproduce the paper's claims")
+	return nil
+}
+
+// runGates runs the bench-regression gate over every baseline:current
+// pair, printing each verdict; any violation fails the run.
+func runGates(gates gatePairs) error {
+	failures := 0
+	for _, pair := range gates {
+		basePath, currPath, _ := strings.Cut(pair, ":")
+		base, err := os.ReadFile(basePath)
+		if err != nil {
+			return err
+		}
+		curr, err := os.ReadFile(currPath)
+		if err != nil {
+			return err
+		}
+		violations, err := experiments.GateBench(base, curr)
+		if err != nil {
+			return fmt.Errorf("gate %s: %w", pair, err)
+		}
+		if len(violations) == 0 {
+			fmt.Printf("gate %s vs %s: OK\n", currPath, basePath)
+			continue
+		}
+		failures += len(violations)
+		fmt.Printf("gate %s vs %s: FAILED\n", currPath, basePath)
+		for _, v := range violations {
+			fmt.Println("  " + v)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench gate: %d regression(s); commit a refreshed baseline if intentional, or apply the bench-regression override label (see README)", failures)
+	}
 	return nil
 }
 

@@ -1,0 +1,320 @@
+// Command ebashard runs one stripe of an exhaustive sweep — or of the
+// model checker's enumeration — and merges stripes back together, so a
+// sweep that saturates one machine can run as K cooperating processes.
+//
+// Striding is deterministic: stripe i of K holds the scenarios at global
+// ordinals ≡ i mod K of the canonical enumeration, so K processes given
+// the same parameters and distinct -shard values partition the sweep
+// exactly. Merging verifies it: headers must agree, record digests must
+// match their content, and ordinals must cover 0..total-1 with no gap
+// and no overlap. The merged outcome stream is byte-identical to the
+// stream a single -shard 0/1 process writes (the CI shard-equivalence
+// smoke pins this with cmp), and a merged model-checker index yields
+// verdicts bit-identical to the single-process checker.
+//
+// Sweep mode (outcome streams):
+//
+//	ebashard -stack fip -n 3 -t 1 -shard 0/3 -out shard0.jsonl
+//	ebashard -stack fip -n 3 -t 1 -shard 1/3 -out shard1.jsonl
+//	ebashard -stack fip -n 3 -t 1 -shard 2/3 -out shard2.jsonl
+//	ebashard -merge -out merged.jsonl shard0.jsonl shard1.jsonl shard2.jsonl
+//
+// Model-checker mode (partial epistemic indexes):
+//
+//	ebashard -check -stack fip -n 3 -t 1 -shard 0/3 -out idx0.json   # ×3
+//	ebashard -check -merge idx0.json idx1.json idx2.json
+//
+// -check -merge re-interns the partial indexes into one system and
+// prints deterministic verdict lines (implements / safety / optimality),
+// so sharded and unsharded checker outputs can be diffed directly.
+// -shard defaults to $EBA_SHARD when set ("i/k"), else to 0/1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	eba "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ebashard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ebashard", flag.ContinueOnError)
+	var (
+		stackName  = fs.String("stack", "fip", "protocol stack (see eba.Stacks)")
+		n          = fs.Int("n", 3, "number of agents")
+		t          = fs.Int("t", 1, "failure bound t")
+		out        = fs.String("out", "-", "output file (\"-\" for stdout)")
+		merge      = fs.Bool("merge", false, "merge the listed shard files instead of running a stripe")
+		check      = fs.Bool("check", false, "model-checker mode: build (or, with -merge, merge) epistemic shard indexes")
+		parallel   = fs.Int("parallel", 0, "workers per process (0 = one per CPU; never changes the output)")
+		spec       = fs.Bool("spec", true, "sweep mode: spec-check every run (a violation aborts the shard)")
+		safety     = fs.Bool("safety", false, "-check -merge: also check the Definition 6.2 safety condition")
+		optimality = fs.Bool("optimality", true, "-check -merge: for fip, check the Theorem 7.5 characterization")
+	)
+	shard := eba.ShardSpec{}
+	if env := os.Getenv(eba.ShardEnvVar); env != "" {
+		parsed, err := eba.ParseShardSpec(env)
+		if err != nil {
+			return fmt.Errorf("$%s: %w", eba.ShardEnvVar, err)
+		}
+		shard = parsed
+	}
+	fs.Var(&shard, "shard", "stripe to run, as index/count (default $"+eba.ShardEnvVar+" or 0/1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *merge && *check:
+		return mergeIndexes(fs.Args(), *out, *parallel, *safety, *optimality)
+	case *merge:
+		return mergeStreams(fs.Args(), *out)
+	case *check:
+		return buildIndex(*stackName, *n, *t, shard, *out, *parallel)
+	default:
+		return runStripe(*stackName, *n, *t, shard, *out, *parallel, *spec)
+	}
+}
+
+// openOut resolves -out: stdout for "-", else the file (truncated).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// runStripe executes one stripe of the stack's exhaustive SO(t) sweep
+// and writes its outcome stream.
+func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, spec bool) error {
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	stack, err := eba.NewStack(stackName, eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		return err
+	}
+	src, err := eba.SourceSO(n, t, stack.Horizon())
+	if err != nil {
+		return err
+	}
+	opts := []eba.RunnerOption{eba.WithParallelism(parallel), eba.WithBufferReuse()}
+	if spec {
+		opts = append(opts, eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}))
+	}
+	w, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	sum, err := eba.NewRunner(stack, opts...).RunShard(context.Background(), src, shard.Index, shard.Count, w)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs, digest %s\n",
+		shard.String(), stack.Name, n, t, sum.Records, sum.Digest)
+	return nil
+}
+
+// mergeStreams fans the listed outcome streams back into canonical order.
+func mergeStreams(paths []string, out string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs the shard files as arguments")
+	}
+	readers := make([]io.Reader, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		readers[i] = f
+	}
+	w, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	sum, err := eba.MergeOutcomes(w, readers...)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ebashard: merged %d shards: %d runs, digest %s\n", sum.Shards, sum.Total, sum.Digest)
+	return nil
+}
+
+// buildIndex builds one stripe of the model checker's enumeration and
+// writes the partial epistemic index.
+func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int) error {
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	stack, err := eba.NewStack(stackName, eba.WithN(n), eba.WithT(t))
+	if err != nil {
+		return err
+	}
+	idx, err := eba.BuildShardIndex(context.Background(), stack, shard.Index, shard.Count,
+		eba.WithCheckParallelism(parallel))
+	if err != nil {
+		return err
+	}
+	w, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	err = eba.WriteShardIndex(w, idx)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ebashard: indexed shard %s of %s n=%d t=%d: %d runs\n",
+		shard.String(), stack.Name, n, t, len(idx.Runs))
+	return nil
+}
+
+// mergeIndexes re-interns the listed partial indexes into one system and
+// prints deterministic verdict lines to -out.
+func mergeIndexes(paths []string, out string, parallel int, safety, optimality bool) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-check -merge needs the index files as arguments")
+	}
+	shards := make([]*eba.ShardIndex, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		idx, err := eba.ReadShardIndex(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		shards[i] = idx
+	}
+	ctx := context.Background()
+	sys, err := eba.MergeSystems(ctx, shards, eba.WithCheckParallelism(parallel))
+	if err != nil {
+		return err
+	}
+
+	// Stack is optional index metadata; MergeSystems has already verified
+	// that every non-empty name agrees, so the first one found is THE name.
+	stackName := ""
+	for _, idx := range shards {
+		if idx.Stack != "" {
+			stackName = idx.Stack
+			break
+		}
+	}
+	if stackName == "" {
+		return fmt.Errorf("shard indexes carry no stack name (rebuild them with ebashard -check, which records it)")
+	}
+	var info eba.StackInfo
+	for _, si := range eba.Stacks() {
+		if si.Name == stackName {
+			info = si
+			break
+		}
+	}
+	if info.Name == "" {
+		return fmt.Errorf("shard indexes name unknown stack %q", stackName)
+	}
+	if info.Program == "" {
+		return fmt.Errorf("stack %q declares no knowledge-based program to check against", stackName)
+	}
+	prog := eba.ProgramP0
+	if info.Program == "P1" {
+		prog = eba.ProgramP1
+	}
+
+	w, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	verdictErr := printVerdicts(ctx, w, sys, stackName, prog, safety, optimality)
+	if cerr := closeOut(); verdictErr == nil {
+		verdictErr = cerr
+	}
+	return verdictErr
+}
+
+// printVerdicts writes the deterministic verdict block — no timings, so
+// sharded and unsharded outputs diff clean.
+func printVerdicts(ctx context.Context, w io.Writer, sys *eba.System, stackName string, prog eba.Program, safety, optimality bool) error {
+	fmt.Fprintf(w, "stack: %s (n=%d, t=%d, horizon=%d)\n", stackName, sys.N, sys.T, sys.Horizon)
+	fmt.Fprintf(w, "runs: %d\n", len(sys.Runs))
+
+	failed := false
+	ms, err := sys.CheckImplements(ctx, prog, 5)
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		fmt.Fprintf(w, "implements %v: OK\n", prog)
+	} else {
+		failed = true
+		fmt.Fprintf(w, "implements %v: FAILED\n", prog)
+		for _, m := range ms {
+			fmt.Fprintf(w, "  %s\n", m)
+		}
+	}
+
+	if safety {
+		vs, err := sys.CheckSafety(ctx, 5)
+		if err != nil {
+			return err
+		}
+		if len(vs) == 0 {
+			fmt.Fprintf(w, "safety: OK\n")
+		} else {
+			fmt.Fprintf(w, "safety: violated\n")
+			for _, v := range vs {
+				fmt.Fprintf(w, "  %s\n", v)
+			}
+			if !strings.HasPrefix(stackName, "fip") {
+				failed = true
+			}
+		}
+	}
+
+	if optimality && stackName == "fip" {
+		vs, err := sys.CheckOptimalityFIP(ctx, -1, 5)
+		if err != nil {
+			return err
+		}
+		if len(vs) == 0 {
+			fmt.Fprintf(w, "optimality: OK\n")
+		} else {
+			failed = true
+			fmt.Fprintf(w, "optimality: FAILED\n")
+			for _, v := range vs {
+				fmt.Fprintf(w, "  %s\n", v)
+			}
+		}
+	}
+	if failed {
+		return fmt.Errorf("verdicts failed")
+	}
+	return nil
+}

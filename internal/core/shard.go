@@ -1,0 +1,538 @@
+// Deterministic shard-and-merge: the multi-process face of the Runner.
+//
+// A sweep's Source enumerates scenarios in one canonical order; Stride
+// splits that order into K modular stripes (stripe i holds the scenarios
+// at global ordinals ≡ i mod K), so K independent processes can each pull
+// their own stripe of the very same enumeration without coordinating.
+// RunShard executes one stripe and emits a self-describing outcome stream
+// — a JSONL header, one digested record per scenario carrying its global
+// ordinal, and a footer sealing the stripe with a chained digest — to any
+// io.Writer (a file, a pipe). MergeOutcomes fans K such streams back into
+// the canonical order, verifying that the stripes partition the sweep
+// exactly (no gaps, no overlaps, consistent headers, intact digests).
+//
+// The merged stream of K shards is byte-identical to the stream a single
+// process writes with shardCount 1 — the invariant the CI
+// shard-equivalence smoke pins with cmp(1) — so sharding is a pure
+// throughput move: it can never change what a sweep observes.
+package core
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// Stride returns the shard's stripe of the source: the scenarios at
+// global ordinals shardIndex, shardIndex+shardCount, shardIndex+2·shardCount,
+// … in the source's own order. Striding is deterministic and modular, so
+// the shardCount stripes partition the sweep exactly — no scenario is
+// lost or duplicated — and any combinator stack (Limit, Filter,
+// CrossInits) can sit on either side of it. shardCount 1 returns the
+// source unchanged.
+func Stride(src Source, shardIndex, shardCount int) (Source, error) {
+	if shardCount < 1 {
+		return nil, fmt.Errorf("core: shard count %d; need at least 1", shardCount)
+	}
+	if shardIndex < 0 || shardIndex >= shardCount {
+		return nil, fmt.Errorf("core: shard index %d outside [0, %d)", shardIndex, shardCount)
+	}
+	if shardCount == 1 {
+		return src, nil
+	}
+	return &strideSource{src: src, index: shardIndex, count: shardCount, skip: shardIndex}, nil
+}
+
+// strideSource discards the scenarios between the stripe's ordinals.
+type strideSource struct {
+	src   Source
+	index int
+	count int
+	// skip is how many scenarios to discard before the next yield: index
+	// before the first yield, count-1 between yields.
+	skip int
+}
+
+func (s *strideSource) Next() (Scenario, bool) {
+	for s.skip > 0 {
+		if _, ok := s.src.Next(); !ok {
+			return Scenario{}, false
+		}
+		s.skip--
+	}
+	sc, ok := s.src.Next()
+	if !ok {
+		return Scenario{}, false
+	}
+	s.skip = s.count - 1
+	return sc, true
+}
+
+func (s *strideSource) Count() (int64, bool) {
+	c, ok := s.src.Count()
+	if !ok {
+		return 0, false
+	}
+	return StripeSize(c, s.index, s.count), true
+}
+
+// Err surfaces the inner source's mid-stream failure, if it reports one.
+func (s *strideSource) Err() error {
+	if es, ok := s.src.(ErrorSource); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// StripeSize returns the number of ordinals in [0, total) congruent to
+// shardIndex modulo shardCount — the length of that shard's stripe of a
+// total-scenario sweep.
+func StripeSize(total int64, shardIndex, shardCount int) int64 {
+	if total <= int64(shardIndex) {
+		return 0
+	}
+	return (total - int64(shardIndex) + int64(shardCount) - 1) / int64(shardCount)
+}
+
+// --- the outcome stream format -------------------------------------------
+
+// Outcome streams are JSON lines: a ShardHeader, then one OutcomeRecord
+// per scenario in stripe order, then a ShardFooter. Every value is
+// written by encoding/json over fixed structs, so the byte encoding is
+// deterministic — equal streams compare equal with cmp(1).
+const (
+	outcomeKind    = "eba-outcomes"
+	footerKind     = "footer"
+	outcomeVersion = 1
+)
+
+// ShardHeader opens an outcome stream and makes it self-describing: which
+// stripe of which sweep over which stack follows.
+type ShardHeader struct {
+	// Kind is "eba-outcomes"; Version the format version.
+	Kind    string `json:"kind"`
+	Version int    `json:"v"`
+	// Shard and Shards identify the stripe: the records that follow carry
+	// the global ordinals ≡ Shard mod Shards.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Stack names the protocol stack; N, T, and Horizon its configuration.
+	Stack   string `json:"stack"`
+	N       int    `json:"n"`
+	T       int    `json:"t"`
+	Horizon int    `json:"horizon"`
+	// Count is the stripe's scenario count, or -1 when the source cannot
+	// report one up front.
+	Count int64 `json:"count"`
+}
+
+// OutcomeStats mirrors engine.Stats with stable JSON keys.
+type OutcomeStats struct {
+	MessagesSent      int   `json:"sent"`
+	MessagesDelivered int   `json:"delivered"`
+	BitsSent          int64 `json:"bitsSent"`
+	BitsDelivered     int64 `json:"bitsDelivered"`
+}
+
+// OutcomeRecord is one completed scenario of a sharded sweep: the global
+// ordinal locating it in the canonical enumeration, the scenario itself
+// (pattern text + inits), the run's observable outcome, and a digest over
+// all of it. Full traces stay in the process that ran them; the record
+// carries what sweeps aggregate and specs judge.
+type OutcomeRecord struct {
+	// Ordinal is the scenario's position in the unsharded enumeration.
+	Ordinal int64 `json:"ord"`
+	// Pattern is the failure pattern in model.Pattern's text form.
+	Pattern string `json:"pattern"`
+	// Inits holds the initial preferences as 0/1.
+	Inits []int `json:"inits"`
+	// Decisions[i] is the value agent i decided (-1 for none);
+	// Rounds[i] the round it first decided in (0 for never).
+	Decisions []int `json:"decisions"`
+	Rounds    []int `json:"rounds"`
+	// Stats aggregates the run's message traffic.
+	Stats OutcomeStats `json:"stats"`
+	// Digest fingerprints every field above.
+	Digest string `json:"digest"`
+}
+
+// ShardFooter seals a stream: how many records it carries and the chained
+// digest over them in stream order.
+type ShardFooter struct {
+	Kind    string `json:"kind"`
+	Records int64  `json:"records"`
+	Digest  string `json:"digest"`
+}
+
+// newOutcomeRecord builds the record of one completed run.
+func newOutcomeRecord(ordinal int64, res *engine.Result) (OutcomeRecord, error) {
+	pat, err := res.Pattern.MarshalText()
+	if err != nil {
+		return OutcomeRecord{}, fmt.Errorf("core: encoding pattern of ordinal %d: %w", ordinal, err)
+	}
+	rec := OutcomeRecord{
+		Ordinal:   ordinal,
+		Pattern:   string(pat),
+		Inits:     make([]int, res.N),
+		Decisions: make([]int, res.N),
+		Rounds:    make([]int, res.N),
+		Stats: OutcomeStats{
+			MessagesSent:      res.Stats.MessagesSent,
+			MessagesDelivered: res.Stats.MessagesDelivered,
+			BitsSent:          res.Stats.BitsSent,
+			BitsDelivered:     res.Stats.BitsDelivered,
+		},
+	}
+	for i := 0; i < res.N; i++ {
+		rec.Inits[i] = int(res.Inits[i])
+		rec.Decisions[i] = int(res.Decision[i])
+		rec.Rounds[i] = res.DecisionRound[i]
+	}
+	rec.Digest = rec.computeDigest()
+	return rec, nil
+}
+
+// computeDigest fingerprints the record's content (everything but the
+// Digest field itself).
+func (r *OutcomeRecord) computeDigest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%s|%v|%v|%v|%d|%d|%d|%d",
+		r.Ordinal, r.Pattern, r.Inits, r.Decisions, r.Rounds,
+		r.Stats.MessagesSent, r.Stats.MessagesDelivered, r.Stats.BitsSent, r.Stats.BitsDelivered)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// digestChain folds record digests in stream order; two streams carrying
+// the same records in the same order chain to the same value.
+type digestChain struct{ h [sha256.Size]byte }
+
+func (c *digestChain) add(recordDigest string) {
+	h := sha256.New()
+	h.Write(c.h[:])
+	h.Write([]byte(recordDigest))
+	h.Sum(c.h[:0])
+}
+
+func (c *digestChain) hex() string { return hex.EncodeToString(c.h[:16]) }
+
+// --- writing: RunShard ---------------------------------------------------
+
+// ShardSummary reports a completed RunShard.
+type ShardSummary struct {
+	// Header is the stream's header as written.
+	Header ShardHeader
+	// Records is the number of scenarios the stripe ran.
+	Records int64
+	// Digest is the chained digest over the stripe's records.
+	Digest string
+}
+
+// RunShard executes stripe shardIndex of shardCount of the source's sweep
+// and writes the self-describing outcome stream — header, one digested
+// record per scenario in stripe order, footer — to w. The source is the
+// FULL sweep; RunShard strides it, so K processes handed the same source
+// constructor and distinct indexes partition the sweep exactly. Runs fan
+// out over the runner's worker pool (WithParallelism); the stream is
+// emitted in stripe order regardless. The first execution error,
+// specification violation, or cancellation aborts the shard with that
+// error as the context cause — a partial stream carries no footer, so
+// MergeOutcomes rejects it.
+func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCount int, w io.Writer) (*ShardSummary, error) {
+	stripe, err := Stride(src, shardIndex, shardCount)
+	if err != nil {
+		return nil, err
+	}
+	hdr := ShardHeader{
+		Kind:    outcomeKind,
+		Version: outcomeVersion,
+		Shard:   shardIndex,
+		Shards:  shardCount,
+		Stack:   r.stack.Name,
+		N:       r.stack.N,
+		T:       r.stack.T,
+		Horizon: r.stack.Horizon(),
+		Count:   -1,
+	}
+	if c, ok := stripe.Count(); ok {
+		hdr.Count = c
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, fmt.Errorf("core: shard %d/%d: writing header: %w", shardIndex, shardCount, err)
+	}
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var chain digestChain
+	var records int64
+	for oc := range r.StreamFrom(ctx, stripe) {
+		if oc.Err != nil {
+			cancel(oc.Err)
+			return nil, fmt.Errorf("core: shard %d/%d: %w", shardIndex, shardCount, oc.Err)
+		}
+		ordinal := int64(shardIndex) + int64(oc.Index)*int64(shardCount)
+		rec, err := newOutcomeRecord(ordinal, oc.Result)
+		if err != nil {
+			cancel(err)
+			return nil, err
+		}
+		chain.add(rec.Digest)
+		if err := enc.Encode(rec); err != nil {
+			cancel(err)
+			return nil, fmt.Errorf("core: shard %d/%d: writing ordinal %d: %w", shardIndex, shardCount, ordinal, err)
+		}
+		records++
+	}
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	if hdr.Count >= 0 && records != hdr.Count {
+		return nil, fmt.Errorf("core: shard %d/%d ran %d of %d scenarios", shardIndex, shardCount, records, hdr.Count)
+	}
+	foot := ShardFooter{Kind: footerKind, Records: records, Digest: chain.hex()}
+	if err := enc.Encode(foot); err != nil {
+		return nil, fmt.Errorf("core: shard %d/%d: writing footer: %w", shardIndex, shardCount, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("core: shard %d/%d: flushing stream: %w", shardIndex, shardCount, err)
+	}
+	return &ShardSummary{Header: hdr, Records: records, Digest: foot.Digest}, nil
+}
+
+// --- reading: OutcomeReader ----------------------------------------------
+
+// OutcomeReader decodes one shard's outcome stream, verifying record
+// digests and the footer's count and chained digest as it goes. Next
+// returns io.EOF after the footer; a stream that ends without one is
+// reported as truncated (the mark RunShard leaves when it aborts).
+type OutcomeReader struct {
+	dec     *json.Decoder
+	header  ShardHeader
+	chain   digestChain
+	records int64
+	footer  *ShardFooter
+}
+
+// NewOutcomeReader reads and validates the stream's header.
+func NewOutcomeReader(r io.Reader) (*OutcomeReader, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr ShardHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: reading outcome-stream header: %w", err)
+	}
+	if hdr.Kind != outcomeKind {
+		return nil, fmt.Errorf("core: not an outcome stream (kind %q, want %q)", hdr.Kind, outcomeKind)
+	}
+	if hdr.Version != outcomeVersion {
+		return nil, fmt.Errorf("core: outcome-stream version %d, this reader speaks %d", hdr.Version, outcomeVersion)
+	}
+	if hdr.Shards < 1 || hdr.Shard < 0 || hdr.Shard >= hdr.Shards {
+		return nil, fmt.Errorf("core: outcome stream declares shard %d of %d", hdr.Shard, hdr.Shards)
+	}
+	return &OutcomeReader{dec: dec, header: hdr}, nil
+}
+
+// Header returns the stream's header.
+func (or *OutcomeReader) Header() ShardHeader { return or.header }
+
+// Footer returns the stream's footer once Next has returned io.EOF, and
+// nil before that.
+func (or *OutcomeReader) Footer() *ShardFooter { return or.footer }
+
+// Next returns the stream's next record. It verifies the record's digest
+// against its content and, at the footer, the stream's record count and
+// chained digest; io.EOF reports a cleanly sealed stream.
+func (or *OutcomeReader) Next() (*OutcomeRecord, error) {
+	if or.footer != nil {
+		return nil, io.EOF
+	}
+	var raw json.RawMessage
+	if err := or.dec.Decode(&raw); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("core: shard %d/%d: stream truncated after %d records (no footer)",
+				or.header.Shard, or.header.Shards, or.records)
+		}
+		return nil, fmt.Errorf("core: shard %d/%d: decoding record %d: %w",
+			or.header.Shard, or.header.Shards, or.records, err)
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("core: shard %d/%d: decoding record %d: %w",
+			or.header.Shard, or.header.Shards, or.records, err)
+	}
+	if probe.Kind == footerKind {
+		var foot ShardFooter
+		if err := json.Unmarshal(raw, &foot); err != nil {
+			return nil, fmt.Errorf("core: shard %d/%d: decoding footer: %w", or.header.Shard, or.header.Shards, err)
+		}
+		if foot.Records != or.records {
+			return nil, fmt.Errorf("core: shard %d/%d: footer claims %d records, stream carried %d",
+				or.header.Shard, or.header.Shards, foot.Records, or.records)
+		}
+		if foot.Digest != or.chain.hex() {
+			return nil, fmt.Errorf("core: shard %d/%d: footer digest %s does not match the record chain %s",
+				or.header.Shard, or.header.Shards, foot.Digest, or.chain.hex())
+		}
+		or.footer = &foot
+		return nil, io.EOF
+	}
+	var rec OutcomeRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("core: shard %d/%d: decoding record %d: %w",
+			or.header.Shard, or.header.Shards, or.records, err)
+	}
+	if want := rec.computeDigest(); rec.Digest != want {
+		return nil, fmt.Errorf("core: shard %d/%d: ordinal %d carries digest %s, content hashes to %s",
+			or.header.Shard, or.header.Shards, rec.Ordinal, rec.Digest, want)
+	}
+	if rem := rec.Ordinal % int64(or.header.Shards); rem != int64(or.header.Shard) {
+		return nil, fmt.Errorf("core: shard %d/%d: ordinal %d does not belong to this stripe",
+			or.header.Shard, or.header.Shards, rec.Ordinal)
+	}
+	or.chain.add(rec.Digest)
+	or.records++
+	return &rec, nil
+}
+
+// --- merging: MergeOutcomes ----------------------------------------------
+
+// MergeSummary reports a completed MergeOutcomes.
+type MergeSummary struct {
+	// Shards is the number of merged stripes.
+	Shards int
+	// Total is the merged scenario count.
+	Total int64
+	// Digest is the chained digest over the merged records in canonical
+	// order — equal to the Digest a single-process (shardCount 1) RunShard
+	// of the same sweep reports.
+	Digest string
+	// Headers holds the shard headers in shard order.
+	Headers []ShardHeader
+}
+
+// MergeOutcomes fans K shard streams back into the canonical enumeration
+// order, verifying that the stripes partition the sweep exactly: headers
+// must agree on the stack and declare K distinct stripes of a K-way
+// split; every record's digest must match its content; ordinals must
+// cover 0..total-1 with no gap and no overlap; and each stream's footer
+// must seal its stripe. Streams may be passed in any order.
+//
+// When w is non-nil the merged stream is written to it in the same
+// format, as the single stripe of a 1-way split — byte-identical to what
+// one process running the whole sweep writes, so sharded and unsharded
+// runs can be compared with cmp(1).
+func MergeOutcomes(w io.Writer, streams ...io.Reader) (*MergeSummary, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("core: merge of zero outcome streams")
+	}
+	byShard := make([]*OutcomeReader, len(streams))
+	for _, s := range streams {
+		or, err := NewOutcomeReader(s)
+		if err != nil {
+			return nil, err
+		}
+		h := or.Header()
+		if h.Shards != len(streams) {
+			return nil, fmt.Errorf("core: merging %d streams but shard %d declares a %d-way split",
+				len(streams), h.Shard, h.Shards)
+		}
+		if byShard[h.Shard] != nil {
+			return nil, fmt.Errorf("core: two streams both claim shard %d/%d (overlap)", h.Shard, h.Shards)
+		}
+		byShard[h.Shard] = or
+	}
+	ref := byShard[0].Header()
+	total := int64(0)
+	for i, or := range byShard {
+		h := or.Header()
+		if h.Stack != ref.Stack || h.N != ref.N || h.T != ref.T || h.Horizon != ref.Horizon {
+			return nil, fmt.Errorf("core: shard %d ran %s(n=%d,t=%d,h=%d), shard 0 ran %s(n=%d,t=%d,h=%d)",
+				i, h.Stack, h.N, h.T, h.Horizon, ref.Stack, ref.N, ref.T, ref.Horizon)
+		}
+		if total >= 0 && h.Count >= 0 {
+			total += h.Count
+		} else {
+			total = -1
+		}
+	}
+
+	var bw *bufio.Writer
+	var enc *json.Encoder
+	if w != nil {
+		bw = bufio.NewWriter(w)
+		enc = json.NewEncoder(bw)
+		mh := ref
+		mh.Shard, mh.Shards, mh.Count = 0, 1, total
+		if err := enc.Encode(mh); err != nil {
+			return nil, fmt.Errorf("core: writing merged header: %w", err)
+		}
+	}
+
+	k := len(byShard)
+	var chain digestChain
+	var ord int64
+	for {
+		or := byShard[int(ord%int64(k))]
+		rec, err := or.Next()
+		if err == io.EOF {
+			// This stripe is exhausted at ordinal ord, fixing the sweep's
+			// total; every other stripe must be exhausted too, or it holds
+			// a record the canonical order has no slot for.
+			for j := 0; j < k; j++ {
+				if byShard[j] == or {
+					continue
+				}
+				if extra, jerr := byShard[j].Next(); jerr != io.EOF {
+					if jerr != nil {
+						return nil, jerr
+					}
+					return nil, fmt.Errorf("core: shard %d carries ordinal %d beyond the sweep's end at %d (gap or overlap)",
+						j, extra.Ordinal, ord)
+				}
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Ordinal != ord {
+			return nil, fmt.Errorf("core: shard %d emitted ordinal %d where the canonical order needs %d (gap or overlap)",
+				int(ord%int64(k)), rec.Ordinal, ord)
+		}
+		chain.add(rec.Digest)
+		if enc != nil {
+			if err := enc.Encode(rec); err != nil {
+				return nil, fmt.Errorf("core: writing merged ordinal %d: %w", ord, err)
+			}
+		}
+		ord++
+	}
+	if total >= 0 && ord != total {
+		return nil, fmt.Errorf("core: merged %d records, headers promised %d", ord, total)
+	}
+
+	sum := &MergeSummary{Shards: k, Total: ord, Digest: chain.hex(), Headers: make([]ShardHeader, k)}
+	for i, or := range byShard {
+		sum.Headers[i] = or.Header()
+	}
+	if enc != nil {
+		foot := ShardFooter{Kind: footerKind, Records: ord, Digest: sum.Digest}
+		if err := enc.Encode(foot); err != nil {
+			return nil, fmt.Errorf("core: writing merged footer: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return nil, fmt.Errorf("core: flushing merged stream: %w", err)
+		}
+	}
+	return sum, nil
+}

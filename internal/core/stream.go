@@ -28,6 +28,20 @@ type Source interface {
 	Count() (int64, bool)
 }
 
+// ErrorSource is an optional Source extension for sources that can fail
+// mid-stream — a shard reader whose pipe breaks, a decoder hitting
+// corrupt input. Such a source ends the stream by returning false from
+// Next and reports why through Err (nil means ordinary exhaustion).
+// StreamFrom checks Err when the source ends: a non-nil error cancels the
+// stream's work with that error as the context cause (the fail-fast
+// semantics RunBatch and RunSource already have) and the stream's final
+// outcome carries it — Index -1, Err set — so consumers learn the cause
+// even in completion-order mode.
+type ErrorSource interface {
+	Source
+	Err() error
+}
+
 // FromScenarios adapts an eager scenario slice to the Source interface —
 // the bridge from the batch world into the streaming one (Stream is
 // StreamFrom over it).
@@ -110,6 +124,13 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 	out := make(chan RunOutcome)
 	go func() {
 		defer close(out)
+		// sctx carries stream-internal failure: when the source itself
+		// fails mid-stream (ErrorSource), outstanding work is cancelled
+		// with the source's error as the cause, and outcomes produced
+		// after the failure carry it — context.Cause, never a bare
+		// context.Canceled, matching the Runner's fail-fast semantics.
+		sctx, fail := context.WithCancelCause(ctx)
+		defer fail(nil)
 		workers := r.parallelism
 		if c, ok := src.Count(); ok && int64(workers) > c {
 			workers = int(c)
@@ -147,8 +168,8 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 				}
 				for jb := range jobs {
 					select {
-					case results <- r.runOne(ctx, jb.idx, jb.sc, buf):
-					case <-ctx.Done():
+					case results <- r.runOne(sctx, jb.idx, jb.sc, buf):
+					case <-sctx.Done():
 						return
 					}
 				}
@@ -160,17 +181,25 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 				if tokens != nil {
 					select {
 					case tokens <- struct{}{}:
-					case <-ctx.Done():
+					case <-sctx.Done():
 						return
 					}
 				}
 				sc, ok := src.Next()
 				if !ok {
+					// A source that failed mid-stream (rather than running
+					// dry) cancels outstanding work with its error as the
+					// cause, so in-flight outcomes carry it.
+					if es, isErrSource := src.(ErrorSource); isErrSource {
+						if err := es.Err(); err != nil {
+							fail(err)
+						}
+					}
 					return
 				}
 				select {
 				case jobs <- job{idx: idx, sc: sc}:
-				case <-ctx.Done():
+				case <-sctx.Done():
 					return
 				}
 			}
@@ -180,6 +209,19 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 			close(results)
 		}()
 
+		// emitCause surfaces a stream-internal failure (a failed source) as
+		// the stream's final outcome: Index -1, Err the cancellation cause.
+		// External cancellation is the caller's own context; they hold its
+		// cause already, so nothing is appended for it.
+		emitCause := func() {
+			if cause := context.Cause(sctx); cause != nil && ctx.Err() == nil {
+				select {
+				case out <- RunOutcome{Index: -1, Err: cause}:
+				case <-ctx.Done():
+				}
+			}
+		}
+
 		if cfg.completionOrder {
 			for oc := range results {
 				select {
@@ -188,6 +230,7 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 					return
 				}
 			}
+			emitCause()
 			return
 		}
 
@@ -212,6 +255,7 @@ func (r *Runner) StreamFrom(ctx context.Context, src Source, opts ...StreamOptio
 				next++
 			}
 		}
+		emitCause()
 	}()
 	return out
 }

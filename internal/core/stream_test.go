@@ -370,3 +370,117 @@ func TestRunBatchCancelsWithCause(t *testing.T) {
 		t.Errorf("executor ran %d of %d scenarios after an early failure: fail-slow", got, total)
 	}
 }
+
+// brokenSource is an ErrorSource that fails mid-stream after yielding
+// good scenarios — the shape of a shard reader whose pipe breaks.
+type brokenSource struct {
+	scenarios []Scenario
+	breakAt   int
+	next      int
+	err       error
+}
+
+func (s *brokenSource) Next() (Scenario, bool) {
+	if s.next >= s.breakAt {
+		return Scenario{}, false
+	}
+	sc := s.scenarios[s.next]
+	s.next++
+	return sc, true
+}
+
+func (s *brokenSource) Count() (int64, bool) { return 0, false }
+
+func (s *brokenSource) Err() error {
+	if s.next >= s.breakAt {
+		return s.err
+	}
+	return nil
+}
+
+// TestStreamFromCompletionOrderSourceFailureCause is the PR 5 regression
+// test: a source that fails mid-stream (a failed shard reader) must
+// surface its error as the stream's cancellation cause — on the final
+// outcome and on any outcome cancelled in flight — never as a bare
+// context.Canceled, matching the PR 2/3 fail-fast semantics.
+func TestStreamFromCompletionOrderSourceFailureCause(t *testing.T) {
+	const n = 4
+	st := MustStack("min", WithN(n), WithT(1))
+	readErr := errors.New("shard reader: stream truncated after 7 records (no footer)")
+	src := &brokenSource{scenarios: streamScenarios(n, st.Horizon(), 16), breakAt: 7, err: readErr}
+	runner := NewRunner(st, WithParallelism(2))
+
+	sawCause := false
+	for oc := range runner.StreamFrom(context.Background(), src, WithCompletionOrder()) {
+		if oc.Err == nil {
+			continue
+		}
+		if errors.Is(oc.Err, context.Canceled) && !errors.Is(oc.Err, readErr) {
+			t.Fatalf("outcome %d carries bare context.Canceled instead of the source's error", oc.Index)
+		}
+		if errors.Is(oc.Err, readErr) {
+			sawCause = true
+			if oc.Index == -1 && oc.Result != nil {
+				t.Fatal("stream-failure outcome carries a result")
+			}
+		}
+	}
+	if !sawCause {
+		t.Fatal("completion-order stream swallowed the failed source's error")
+	}
+}
+
+// TestStreamFromOrderedSourceFailureCause checks the ordered path
+// surfaces a failed source the same way, and that RunSource — which
+// rides it — returns the source's error rather than succeeding on the
+// truncated prefix.
+func TestStreamFromOrderedSourceFailureCause(t *testing.T) {
+	const n = 4
+	st := MustStack("min", WithN(n), WithT(1))
+	readErr := errors.New("shard reader: ordinal 12 does not belong to this stripe")
+	mk := func() *brokenSource {
+		return &brokenSource{scenarios: streamScenarios(n, st.Horizon(), 16), breakAt: 5, err: readErr}
+	}
+
+	sawCause := false
+	for oc := range NewRunner(st, WithParallelism(2)).StreamFrom(context.Background(), mk()) {
+		if oc.Err != nil && errors.Is(oc.Err, readErr) {
+			sawCause = true
+		}
+	}
+	if !sawCause {
+		t.Fatal("ordered stream swallowed the failed source's error")
+	}
+
+	if _, err := NewRunner(st, WithParallelism(2)).RunSource(context.Background(), mk()); !errors.Is(err, readErr) {
+		t.Fatalf("RunSource over a failing source = %v, want the source's error", err)
+	}
+}
+
+// TestStreamFromExternalCancelNoSyntheticOutcome checks the new
+// stream-failure outcome is reserved for source failures: externally
+// cancelled streams end as before, with the caller's cause on ordinary
+// outcomes only.
+func TestStreamFromExternalCancelNoSyntheticOutcome(t *testing.T) {
+	st := MustStack("min", WithN(4), WithT(1))
+	cause := errors.New("operator preempted the sweep")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	src := &countingSource{scenarios: streamScenarios(4, st.Horizon(), 64)}
+	seen := 0
+	for oc := range NewRunner(st, WithParallelism(2)).StreamFrom(ctx, src, WithCompletionOrder()) {
+		seen++
+		if seen == 3 {
+			cancel(cause)
+		}
+		if oc.Index == -1 {
+			t.Fatal("external cancellation produced a synthetic stream-failure outcome")
+		}
+		if oc.Err != nil && !errors.Is(oc.Err, cause) {
+			t.Fatalf("outcome %d error = %v, want the caller's cause", oc.Index, oc.Err)
+		}
+	}
+	if seen >= 64 {
+		t.Fatal("stream ran to completion despite cancellation")
+	}
+	cancel(nil)
+}

@@ -1,0 +1,413 @@
+// Sharded system construction: the model checker's multi-process face.
+//
+// BuildSystem's enumeration is the expensive half of every check, and the
+// ROADMAP's next scale step is to split one System's enumeration across
+// machines. The split rides the same deterministic striding the Runner's
+// sweeps use: shard i of K enumerates the scenarios at global ordinals
+// ≡ i mod K, runs them through the memoizing executor, and interns its
+// own (time, agent) class tables over its stripe. The resulting
+// ShardIndex is serializable — runs are reduced to their decision ledger
+// plus the interned class rows keyed by the canonical local-state key —
+// so K processes can each emit one and a fan-in process can MergeSystems
+// them back into a single *System.
+//
+// The merge invariant, pinned by TestMergeSystemsBitIdentical and the CI
+// shard-equivalence smoke: class keys are canonical fingerprints of local
+// states (model.State.Key), so re-interning K partial tables in global
+// run order reproduces the exact class structure — ids, member lists,
+// global interning — the single-process build produces, and every verdict
+// (CheckImplements, CheckSafety, CheckOptimalityFIP) over the merged
+// System is bit-identical to the unsharded one.
+package episteme
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+const (
+	shardIndexKind    = "eba-episteme-shard"
+	shardIndexVersion = 1
+)
+
+// ShardRun is one enumerated run reduced to what the knowledge checkers
+// consult: the scenario (pattern text + inits), the decision ledger, the
+// recorded actions, and the traffic stats. State traces stay in the
+// process that ran them — the class rows below carry their canonical
+// keys, which is all the knowledge relations need.
+type ShardRun struct {
+	// Pattern is the failure pattern in model.Pattern's text form.
+	Pattern string `json:"pattern"`
+	// Inits holds the initial preferences as 0/1.
+	Inits []int `json:"inits"`
+	// Decisions[i] is the value agent i decided (-1 for none); Rounds[i]
+	// the round it first decided in (0 for never).
+	Decisions []int `json:"decisions"`
+	Rounds    []int `json:"rounds"`
+	// Actions[m][i] is agent i's recorded action at time m.
+	Actions [][]int `json:"actions"`
+	// Stats aggregates the run's message traffic.
+	Stats core.OutcomeStats `json:"stats"`
+}
+
+// ShardIndex is one shard's serializable contribution to a sharded
+// System: its stripe's runs plus the per-(time, agent) interned class
+// tables over that stripe. Local run k is global run Shard + k·Shards.
+type ShardIndex struct {
+	// Kind is "eba-episteme-shard"; Version the format version.
+	Kind    string `json:"kind"`
+	Version int    `json:"v"`
+	// Shard and Shards identify the stripe of the canonical enumeration.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Stack optionally names the protocol stack the shard enumerated
+	// (callers that resolve stacks by registry name fill it; MergeSystems
+	// requires agreement when set).
+	Stack string `json:"stack,omitempty"`
+	// N, T, and Horizon describe the system being built.
+	N       int `json:"n"`
+	T       int `json:"t"`
+	Horizon int `json:"horizon"`
+	// Runs holds the stripe's runs in stripe order.
+	Runs []ShardRun `json:"runs"`
+	// ClassKeys[slot] lists the class keys of slot (time m, agent i),
+	// slot = m·N+i, in the shard's first-appearance order — the canonical
+	// local-state fingerprints the merge re-interns by.
+	ClassKeys [][]string `json:"classKeys"`
+	// ClassOf[slot][k] is local run k's shard-local class id in the slot.
+	ClassOf [][]int32 `json:"classOf"`
+}
+
+// BuildShardIndex enumerates stripe shardIndex of a shardCount-way
+// deterministic split of the context's exhaustive sweep, exactly as
+// BuildSystem enumerates the whole of it (same scenario source, same
+// memoizing executor, same parallel index build), and exports the
+// stripe's interned index. K processes running distinct stripes of the
+// same context partition BuildSystem's enumeration exactly; MergeSystems
+// reassembles their indexes into the single-process System.
+func BuildShardIndex(ctx context.Context, c Context, act model.ActionProtocol, shardIndex, shardCount int, opts ...Option) (*ShardIndex, error) {
+	if c.Exchange == nil || act == nil {
+		return nil, fmt.Errorf("episteme: Exchange and action protocol are required")
+	}
+	o := newOptions(opts)
+	n := c.Exchange.N()
+	horizon := c.horizonOrDefault()
+	src, err := c.scenarioSource(n, horizon)
+	if err != nil {
+		return nil, err
+	}
+	stripe, err := core.Stride(src, shardIndex, shardCount)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := buildSystemFromSource(ctx, c, act, stripe, o)
+	if err != nil {
+		return nil, err
+	}
+	return exportShardIndex(sys, shardIndex, shardCount), nil
+}
+
+// exportShardIndex reduces a stripe's System to its serializable partial
+// index. The ledger flattening (inits/decisions/rounds as ints, stats as
+// core.OutcomeStats) deliberately mirrors core's newOutcomeRecord — the
+// outcome-stream and shard-index formats must agree on what a run's
+// observable outcome is; extend both (and restoreRun, the inverse here)
+// together.
+func exportShardIndex(sys *System, shardIndex, shardCount int) *ShardIndex {
+	idx := &ShardIndex{
+		Kind:    shardIndexKind,
+		Version: shardIndexVersion,
+		Shard:   shardIndex,
+		Shards:  shardCount,
+		N:       sys.N,
+		T:       sys.T,
+		Horizon: sys.Horizon,
+		Runs:    make([]ShardRun, len(sys.Runs)),
+	}
+	for k, res := range sys.Runs {
+		pat, _ := res.Pattern.MarshalText()
+		sr := ShardRun{
+			Pattern:   string(pat),
+			Inits:     make([]int, res.N),
+			Decisions: make([]int, res.N),
+			Rounds:    make([]int, res.N),
+			Actions:   make([][]int, len(res.Actions)),
+			Stats: core.OutcomeStats{
+				MessagesSent:      res.Stats.MessagesSent,
+				MessagesDelivered: res.Stats.MessagesDelivered,
+				BitsSent:          res.Stats.BitsSent,
+				BitsDelivered:     res.Stats.BitsDelivered,
+			},
+		}
+		for i := 0; i < res.N; i++ {
+			sr.Inits[i] = int(res.Inits[i])
+			sr.Decisions[i] = int(res.Decision[i])
+			sr.Rounds[i] = res.DecisionRound[i]
+		}
+		for m, row := range res.Actions {
+			acts := make([]int, len(row))
+			for i, a := range row {
+				acts[i] = int(a)
+			}
+			sr.Actions[m] = acts
+		}
+		idx.Runs[k] = sr
+	}
+	nSlots := (sys.Horizon + 1) * sys.N
+	idx.ClassKeys = make([][]string, nSlots)
+	idx.ClassOf = make([][]int32, nSlots)
+	for slot := 0; slot < nSlots; slot++ {
+		idx.ClassKeys[slot] = append([]string(nil), sys.classKey[slot]...)
+		idx.ClassOf[slot] = append([]int32(nil), sys.classOf[slot]...)
+	}
+	return idx
+}
+
+// WriteShardIndex serializes the index as JSON.
+func WriteShardIndex(w io.Writer, idx *ShardIndex) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(idx); err != nil {
+		return fmt.Errorf("episteme: writing shard index %d/%d: %w", idx.Shard, idx.Shards, err)
+	}
+	return nil
+}
+
+// ReadShardIndex deserializes and validates a WriteShardIndex stream.
+func ReadShardIndex(r io.Reader) (*ShardIndex, error) {
+	var idx ShardIndex
+	if err := json.NewDecoder(r).Decode(&idx); err != nil {
+		return nil, fmt.Errorf("episteme: reading shard index: %w", err)
+	}
+	if idx.Kind != shardIndexKind {
+		return nil, fmt.Errorf("episteme: not a shard index (kind %q, want %q)", idx.Kind, shardIndexKind)
+	}
+	if idx.Version != shardIndexVersion {
+		return nil, fmt.Errorf("episteme: shard index version %d, this reader speaks %d", idx.Version, shardIndexVersion)
+	}
+	return &idx, nil
+}
+
+// validate checks the index's internal consistency: bounds, table shapes,
+// and class ids referencing declared classes.
+func (idx *ShardIndex) validate() error {
+	if idx.Shards < 1 || idx.Shard < 0 || idx.Shard >= idx.Shards {
+		return fmt.Errorf("episteme: shard index declares shard %d of %d", idx.Shard, idx.Shards)
+	}
+	if idx.N < 1 || idx.Horizon < 0 {
+		return fmt.Errorf("episteme: shard %d/%d declares n=%d, horizon=%d", idx.Shard, idx.Shards, idx.N, idx.Horizon)
+	}
+	nSlots := (idx.Horizon + 1) * idx.N
+	if len(idx.ClassKeys) != nSlots || len(idx.ClassOf) != nSlots {
+		return fmt.Errorf("episteme: shard %d/%d carries %d/%d slot tables, want %d",
+			idx.Shard, idx.Shards, len(idx.ClassKeys), len(idx.ClassOf), nSlots)
+	}
+	for slot := 0; slot < nSlots; slot++ {
+		if len(idx.ClassOf[slot]) != len(idx.Runs) {
+			return fmt.Errorf("episteme: shard %d/%d slot %d classifies %d runs, stripe has %d",
+				idx.Shard, idx.Shards, slot, len(idx.ClassOf[slot]), len(idx.Runs))
+		}
+		for k, c := range idx.ClassOf[slot] {
+			if c < 0 || int(c) >= len(idx.ClassKeys[slot]) {
+				return fmt.Errorf("episteme: shard %d/%d slot %d run %d references class %d of %d",
+					idx.Shard, idx.Shards, slot, k, c, len(idx.ClassKeys[slot]))
+			}
+		}
+	}
+	for k, sr := range idx.Runs {
+		if len(sr.Inits) != idx.N || len(sr.Decisions) != idx.N || len(sr.Rounds) != idx.N {
+			return fmt.Errorf("episteme: shard %d/%d run %d has malformed ledgers", idx.Shard, idx.Shards, k)
+		}
+		if len(sr.Actions) != idx.Horizon {
+			return fmt.Errorf("episteme: shard %d/%d run %d records %d action rows, want %d",
+				idx.Shard, idx.Shards, k, len(sr.Actions), idx.Horizon)
+		}
+		for m, row := range sr.Actions {
+			if len(row) != idx.N {
+				return fmt.Errorf("episteme: shard %d/%d run %d time %d has %d actions, want %d",
+					idx.Shard, idx.Shards, k, m, len(row), idx.N)
+			}
+		}
+	}
+	return nil
+}
+
+// restoreRun rebuilds the engine.Result of one exported run. States stay
+// nil: a merged System answers every knowledge query through the interned
+// class tables, never through state traces.
+func (sr *ShardRun) restoreRun(n, horizon int) (*engine.Result, error) {
+	pat := new(model.Pattern)
+	if err := pat.UnmarshalText([]byte(sr.Pattern)); err != nil {
+		return nil, err
+	}
+	if pat.N() != n {
+		return nil, fmt.Errorf("pattern is for %d agents, system for %d", pat.N(), n)
+	}
+	res := &engine.Result{
+		N:             n,
+		Horizon:       horizon,
+		Pattern:       pat,
+		Inits:         make([]model.Value, n),
+		Actions:       make([][]model.Action, horizon),
+		Decision:      make([]model.Value, n),
+		DecisionRound: make([]int, n),
+		Stats: engine.Stats{
+			MessagesSent:      sr.Stats.MessagesSent,
+			MessagesDelivered: sr.Stats.MessagesDelivered,
+			BitsSent:          sr.Stats.BitsSent,
+			BitsDelivered:     sr.Stats.BitsDelivered,
+		},
+	}
+	for i := 0; i < n; i++ {
+		res.Inits[i] = model.Value(sr.Inits[i])
+		res.Decision[i] = model.Value(sr.Decisions[i])
+		res.DecisionRound[i] = sr.Rounds[i]
+	}
+	for m, row := range sr.Actions {
+		acts := make([]model.Action, n)
+		for i, a := range row {
+			acts[i] = model.Action(a)
+		}
+		res.Actions[m] = acts
+	}
+	return res, nil
+}
+
+// MergeSystems re-interns K partial indexes — one per stripe of a K-way
+// deterministic split, in any order — into one System. Global run r comes
+// from shard r mod K at stripe position r div K, restoring the canonical
+// enumeration order; each (time, agent) slot's classes are re-interned by
+// their canonical keys in first-appearance-by-global-run order, which is
+// exactly the order the single-process buildIndex assigns, so the merged
+// class tables — ids, member lists, and the system-wide global interning
+// — and every verdict computed from them are bit-identical to the
+// unsharded BuildSystem's. The merge verifies the stripes partition one
+// sweep: K distinct shards of a K-way split, agreeing on (n, t, horizon),
+// with stripe lengths consistent with one total (no gap, no overlap).
+//
+// Merged Systems carry no state traces (System.State is unavailable;
+// Key and every checker work off the interned index), which is what lets
+// a shard's contribution cross a process boundary as JSON.
+func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*System, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("episteme: merge of zero shard indexes")
+	}
+	o := newOptions(opts)
+	k := shards[0].Shards
+	if k != len(shards) {
+		return nil, fmt.Errorf("episteme: merging %d shard indexes but they declare a %d-way split", len(shards), k)
+	}
+	byShard := make([]*ShardIndex, k)
+	for _, idx := range shards {
+		if err := idx.validate(); err != nil {
+			return nil, err
+		}
+		if idx.Shards != k {
+			return nil, fmt.Errorf("episteme: shard %d declares a %d-way split, shard %d a %d-way one",
+				idx.Shard, idx.Shards, shards[0].Shard, k)
+		}
+		if byShard[idx.Shard] != nil {
+			return nil, fmt.Errorf("episteme: two indexes both claim shard %d/%d (overlap)", idx.Shard, k)
+		}
+		byShard[idx.Shard] = idx
+	}
+	ref := byShard[0]
+	total := 0
+	stackName := ""
+	for i, idx := range byShard {
+		if idx.N != ref.N || idx.T != ref.T || idx.Horizon != ref.Horizon {
+			return nil, fmt.Errorf("episteme: shard %d built (n=%d,t=%d,h=%d), shard 0 built (n=%d,t=%d,h=%d)",
+				i, idx.N, idx.T, idx.Horizon, ref.N, ref.T, ref.Horizon)
+		}
+		// Stack is optional metadata: agreement is required only between
+		// shards that carry it.
+		if idx.Stack != "" {
+			if stackName != "" && idx.Stack != stackName {
+				return nil, fmt.Errorf("episteme: shard %d enumerated stack %q, an earlier shard stack %q",
+					i, idx.Stack, stackName)
+			}
+			stackName = idx.Stack
+		}
+		total += len(idx.Runs)
+	}
+	for i, idx := range byShard {
+		if want := core.StripeSize(int64(total), i, k); int64(len(idx.Runs)) != want {
+			return nil, fmt.Errorf("episteme: shard %d carries %d runs; a %d-run sweep strides %d to it (gap or overlap)",
+				i, len(idx.Runs), total, want)
+		}
+	}
+
+	n, horizon := ref.N, ref.Horizon
+	runs := make([]*engine.Result, total)
+	for g := 0; g < total; g++ {
+		idx := byShard[g%k]
+		res, err := idx.Runs[g/k].restoreRun(n, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("episteme: shard %d run %d (global %d): %w", g%k, g/k, g, err)
+		}
+		runs[g] = res
+	}
+
+	sys := &System{N: n, T: ref.T, Horizon: horizon, Runs: runs, par: o.par}
+	nSlots := (horizon + 1) * n
+	sys.classOf = make([][]int32, nSlots)
+	sys.classRuns = make([][][]int, nSlots)
+	sys.classKey = make([][]string, nSlots)
+	sys.classGlobal = make([][]int32, nSlots)
+	sys.byKey = make([]map[string]int32, nSlots)
+	sys.globalByKey = make(map[string]int32)
+
+	// Re-intern each time slice's slots in parallel (slots are
+	// independent), assigning class ids by first appearance in global run
+	// order — the same order the single-process buildIndex assigns them.
+	err := parallelDo(ctx, o.par, horizon+1, func(mi int) {
+		for i := 0; i < n; i++ {
+			slot := mi*n + i
+			byKey := make(map[string]int32)
+			var classKey []string
+			var classRuns [][]int
+			classOf := make([]int32, total)
+			for g := 0; g < total; g++ {
+				idx := byShard[g%k]
+				key := idx.ClassKeys[slot][idx.ClassOf[slot][g/k]]
+				c, ok := byKey[key]
+				if !ok {
+					c = int32(len(classKey))
+					byKey[key] = c
+					classKey = append(classKey, key)
+					classRuns = append(classRuns, nil)
+				}
+				classOf[g] = c
+				classRuns[c] = append(classRuns[c], g)
+			}
+			sys.classOf[slot] = classOf
+			sys.classRuns[slot] = classRuns
+			sys.classKey[slot] = classKey
+			sys.byKey[slot] = byKey
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Fold the system-wide key interning sequentially in slot order,
+	// exactly as buildIndex does.
+	for slot := 0; slot < nSlots; slot++ {
+		keys := sys.classKey[slot]
+		global := make([]int32, len(keys))
+		for c, key := range keys {
+			id, ok := sys.globalByKey[key]
+			if !ok {
+				id = int32(len(sys.globalByKey))
+				sys.globalByKey[key] = id
+			}
+			global[c] = id
+		}
+		sys.classGlobal[slot] = global
+	}
+	return sys, nil
+}

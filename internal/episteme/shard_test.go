@@ -1,0 +1,218 @@
+package episteme
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// buildMerged builds the K shard indexes of the context and merges them.
+func buildMerged(t *testing.T, c Context, act model.ActionProtocol, k int) *System {
+	t.Helper()
+	shards := make([]*ShardIndex, k)
+	// Feed the shards in rotated order: MergeSystems must not depend on
+	// the caller's ordering.
+	for i := 0; i < k; i++ {
+		idx, err := BuildShardIndex(context.Background(), c, act, i, k, WithParallelism(2))
+		if err != nil {
+			t.Fatalf("BuildShardIndex %d/%d: %v", i, k, err)
+		}
+		shards[(i+1)%k] = idx
+	}
+	sys, err := MergeSystems(context.Background(), shards, WithParallelism(2))
+	if err != nil {
+		t.Fatalf("MergeSystems k=%d: %v", k, err)
+	}
+	return sys
+}
+
+// indexFingerprint renders a System's full interned index: class tables,
+// member lists, and global ids per slot.
+func indexFingerprint(sys *System) string {
+	var b strings.Builder
+	for slot := range sys.classKey {
+		fmt.Fprintf(&b, "slot %d keys=%q global=%v\n", slot, sys.classKey[slot], sys.classGlobal[slot])
+		fmt.Fprintf(&b, "slot %d of=%v runs=%v\n", slot, sys.classOf[slot], sys.classRuns[slot])
+	}
+	return b.String()
+}
+
+// TestMergeSystemsBitIdentical is the model-checker half of the PR 5
+// acceptance bar: for K ∈ {1, 2, 3}, merging K shard indexes of the fip
+// n=3, t=1 enumeration yields a System whose interned index and every
+// verdict — CheckImplements, CheckSafety, CheckOptimalityFIP — are
+// bit-identical to the single-process BuildSystem's.
+func TestMergeSystemsBitIdentical(t *testing.T) {
+	c := fipContext31()
+	act := action.NewOpt(1)
+	single, err := BuildSystem(context.Background(), c, act, WithParallelism(2))
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	wantIndex := indexFingerprint(single)
+	wantImpl := checkImplements(t, single, P1, 50)
+	wantSafety := checkSafety(t, single, 50)
+	wantOpt := checkOptimality(t, single, -1, 50)
+
+	for k := 1; k <= 3; k++ {
+		merged := buildMerged(t, c, act, k)
+		if merged.N != single.N || merged.T != single.T || merged.Horizon != single.Horizon {
+			t.Fatalf("k=%d merged shape (%d,%d,%d), single (%d,%d,%d)",
+				k, merged.N, merged.T, merged.Horizon, single.N, single.T, single.Horizon)
+		}
+		if len(merged.Runs) != len(single.Runs) {
+			t.Fatalf("k=%d merged %d runs, single %d", k, len(merged.Runs), len(single.Runs))
+		}
+		for r := range merged.Runs {
+			ms, ss := merged.Runs[r], single.Runs[r]
+			if ms.Pattern.Key() != ss.Pattern.Key() {
+				t.Fatalf("k=%d run %d patterns differ", k, r)
+			}
+			if fmt.Sprint(ms.Inits) != fmt.Sprint(ss.Inits) ||
+				fmt.Sprint(ms.Decision) != fmt.Sprint(ss.Decision) ||
+				fmt.Sprint(ms.DecisionRound) != fmt.Sprint(ss.DecisionRound) ||
+				fmt.Sprint(ms.Actions) != fmt.Sprint(ss.Actions) ||
+				ms.Stats != ss.Stats {
+				t.Fatalf("k=%d run %d ledgers differ", k, r)
+			}
+		}
+		if got := indexFingerprint(merged); got != wantIndex {
+			t.Fatalf("k=%d merged index differs from the single-process index", k)
+		}
+
+		gotImpl := checkImplements(t, merged, P1, 50)
+		if fmt.Sprint(gotImpl) != fmt.Sprint(wantImpl) {
+			t.Fatalf("k=%d CheckImplements differs:\n got %v\nwant %v", k, gotImpl, wantImpl)
+		}
+		gotSafety := checkSafety(t, merged, 50)
+		if fmt.Sprint(gotSafety) != fmt.Sprint(wantSafety) {
+			t.Fatalf("k=%d CheckSafety differs:\n got %v\nwant %v", k, gotSafety, wantSafety)
+		}
+		gotOpt := checkOptimality(t, merged, -1, 50)
+		if fmt.Sprint(gotOpt) != fmt.Sprint(wantOpt) {
+			t.Fatalf("k=%d CheckOptimalityFIP differs:\n got %v\nwant %v", k, gotOpt, wantOpt)
+		}
+	}
+}
+
+// TestMergeSystemsMinStack runs the same equivalence over the min stack
+// (program P0), whose exchange interns differently from fip's graphs.
+func TestMergeSystemsMinStack(t *testing.T) {
+	c := Context{Exchange: exchange.NewMin(3), T: 1}
+	act := action.NewMin(1)
+	single, err := BuildSystem(context.Background(), c, act, WithParallelism(2))
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	want := checkImplements(t, single, P0, 10)
+	merged := buildMerged(t, c, act, 3)
+	if got := checkImplements(t, merged, P0, 10); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged min verdicts differ: got %v, want %v", got, want)
+	}
+	if got, wantFP := indexFingerprint(merged), indexFingerprint(single); got != wantFP {
+		t.Fatal("merged min index differs from the single-process index")
+	}
+}
+
+// TestShardIndexSerializationRoundTrip checks Write/ReadShardIndex is
+// lossless, so indexes can cross process boundaries.
+func TestShardIndexSerializationRoundTrip(t *testing.T) {
+	idx, err := BuildShardIndex(context.Background(), fipContext31(), action.NewOpt(1), 1, 3)
+	if err != nil {
+		t.Fatalf("BuildShardIndex: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteShardIndex(&buf, idx); err != nil {
+		t.Fatalf("WriteShardIndex: %v", err)
+	}
+	back, err := ReadShardIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadShardIndex: %v", err)
+	}
+	if fmt.Sprint(back) != fmt.Sprint(idx) {
+		t.Fatal("shard index did not survive the serialization round trip")
+	}
+	if _, err := ReadShardIndex(strings.NewReader(`{"kind":"something-else","v":1}`)); err == nil {
+		t.Fatal("ReadShardIndex accepted a foreign kind")
+	}
+}
+
+// TestMergeSystemsRejectsBadPartitions drives MergeSystems with
+// non-partitions: missing stripes, duplicates, mixed splits, and mixed
+// contexts.
+func TestMergeSystemsRejectsBadPartitions(t *testing.T) {
+	ctx := context.Background()
+	c := fipContext31()
+	act := action.NewOpt(1)
+	mk := func(i, k int) *ShardIndex {
+		idx, err := BuildShardIndex(ctx, c, act, i, k)
+		if err != nil {
+			t.Fatalf("BuildShardIndex %d/%d: %v", i, k, err)
+		}
+		return idx
+	}
+	i0, i1, i2 := mk(0, 3), mk(1, 3), mk(2, 3)
+
+	if _, err := MergeSystems(ctx, nil); err == nil {
+		t.Fatal("merge of zero indexes succeeded")
+	}
+	if _, err := MergeSystems(ctx, []*ShardIndex{i0, i1}); err == nil {
+		t.Fatal("merge accepted a missing stripe")
+	}
+	if _, err := MergeSystems(ctx, []*ShardIndex{i0, i1, i1}); err == nil {
+		t.Fatal("merge accepted a duplicated stripe")
+	}
+	if _, err := MergeSystems(ctx, []*ShardIndex{i0, i1, mk(1, 2)}); err == nil {
+		t.Fatal("merge accepted mixed split arities")
+	}
+	other, err := BuildShardIndex(ctx, Context{Exchange: exchange.NewFIP(4), T: 1}, action.NewOpt(1), 2, 3)
+	if err != nil {
+		t.Fatalf("BuildShardIndex n=4: %v", err)
+	}
+	if _, err := MergeSystems(ctx, []*ShardIndex{i0, i1, other}); err == nil {
+		t.Fatal("merge accepted indexes of different systems")
+	}
+	// A doctored stripe length (gap) must be caught.
+	short := *i2
+	short.Runs = short.Runs[:len(short.Runs)-1]
+	nSlots := (short.Horizon + 1) * short.N
+	short.ClassOf = make([][]int32, nSlots)
+	for slot := 0; slot < nSlots; slot++ {
+		short.ClassOf[slot] = i2.ClassOf[slot][:len(short.Runs)]
+	}
+	if _, err := MergeSystems(ctx, []*ShardIndex{i0, i1, &short}); err == nil {
+		t.Fatal("merge accepted a stripe with a missing run")
+	}
+}
+
+// TestMergeSystemsStackMetadata checks the optional Stack field: empty
+// names merge with named ones, but two conflicting names are rejected.
+func TestMergeSystemsStackMetadata(t *testing.T) {
+	ctx := context.Background()
+	c := fipContext31()
+	act := action.NewOpt(1)
+	shards := make([]*ShardIndex, 3)
+	for i := range shards {
+		idx, err := BuildShardIndex(ctx, c, act, i, 3)
+		if err != nil {
+			t.Fatalf("BuildShardIndex %d/3: %v", i, err)
+		}
+		shards[i] = idx
+	}
+	// Internal builds leave Stack empty; a partially labelled set merges.
+	shards[1].Stack = "fip"
+	if _, err := MergeSystems(ctx, shards); err != nil {
+		t.Fatalf("merge of mixed empty/named stacks failed: %v", err)
+	}
+	// Two conflicting names do not.
+	shards[2].Stack = "min"
+	if _, err := MergeSystems(ctx, shards); err == nil {
+		t.Fatal("merge accepted conflicting stack names")
+	}
+}

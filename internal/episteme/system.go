@@ -249,6 +249,15 @@ func BuildSystem(ctx context.Context, c Context, act model.ActionProtocol, opts 
 	if err != nil {
 		return nil, err
 	}
+	return buildSystemFromSource(ctx, c, act, src, o)
+}
+
+// buildSystemFromSource enumerates the system's runs from the given
+// scenario source — the whole sweep for BuildSystem, one deterministic
+// stripe of it for BuildShardIndex — and indexes the local states.
+func buildSystemFromSource(ctx context.Context, c Context, act model.ActionProtocol, src core.Source, o options) (*System, error) {
+	n := c.Exchange.N()
+	horizon := c.horizonOrDefault()
 	stack := core.Stack{
 		Name:     "episteme(" + act.Name() + ")",
 		Exchange: c.Exchange,
@@ -380,7 +389,10 @@ func (s *System) Key(i model.AgentID, p Point) string {
 	return s.classKey[slot][s.classOf[slot][p.Run]]
 }
 
-// State returns agent i's local state at point p.
+// State returns agent i's local state at point p. Systems assembled by
+// MergeSystems carry no state traces (their runs crossed a process
+// boundary as decision ledgers plus interned class keys) and panic here;
+// use Key, which every merged System serves from the index.
 func (s *System) State(i model.AgentID, p Point) model.State {
 	return s.Runs[p.Run].States[p.Time][i]
 }

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The bench-regression gate: CI regenerates BENCH_engine.ci.json and
+// BENCH_episteme.ci.json on every run and diffs them against the
+// committed BENCH_*.json baselines. The gate is strict where the
+// repository's perf work lives and tolerant where CI runners are noisy:
+// allocations per op are deterministic, so any growth beyond slack is a
+// real regression (the arena work of PR 4 is pinned here), while wall
+// time on shared runners can swing 2× without meaning anything — only a
+// greater-than-2× build-time blowup fails.
+
+// AllocGrowthLimit is the allowed allocs_per_op growth over the
+// committed baseline (25%).
+const AllocGrowthLimit = 1.25
+
+// SecondsGrowthLimit is the allowed wall-time growth over the committed
+// baseline (2×) — deliberately loose, CI wall time is noisy.
+const SecondsGrowthLimit = 2.0
+
+// GateBench diffs a freshly measured perf record against the committed
+// record of the same kind (both as raw JSON) and returns one line per
+// regression; empty means the gate passes. The record kind — engine
+// (allocs_per_op entries) or episteme (build_seconds entries) — is
+// detected from the baseline's entry fields. Engine entries fail on
+// more than AllocGrowthLimit allocs_per_op growth, matched by (name,
+// arenas); wall time is not gated. Episteme entries fail on more than
+// SecondsGrowthLimit build_seconds growth or on any mismatches. An
+// entry present in the baseline but missing from the current record is
+// a violation: a silently dropped workload would otherwise pass
+// forever.
+func GateBench(baseline, current []byte) ([]string, error) {
+	kind, err := detectBenchKind(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	currentKind, err := detectBenchKind(current)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if kind != currentKind {
+		return nil, fmt.Errorf("baseline is a %s record, current a %s record", kind, currentKind)
+	}
+	switch kind {
+	case "engine":
+		return gateEngine(baseline, current)
+	default:
+		return gateEpisteme(baseline, current)
+	}
+}
+
+// detectBenchKind probes a record's entries for the schema-identifying
+// field.
+func detectBenchKind(data []byte) (string, error) {
+	var probe struct {
+		Entries []map[string]json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("not a perf record: %w", err)
+	}
+	if len(probe.Entries) == 0 {
+		return "", fmt.Errorf("perf record has no entries")
+	}
+	if _, ok := probe.Entries[0]["allocs_per_op"]; ok {
+		return "engine", nil
+	}
+	if _, ok := probe.Entries[0]["build_seconds"]; ok {
+		return "episteme", nil
+	}
+	return "", fmt.Errorf("perf record entries carry neither allocs_per_op nor build_seconds")
+}
+
+func gateEngine(baseline, current []byte) ([]string, error) {
+	var base, curr EngineBench
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline engine record: %w", err)
+	}
+	if err := json.Unmarshal(current, &curr); err != nil {
+		return nil, fmt.Errorf("current engine record: %w", err)
+	}
+	type key struct {
+		name   string
+		arenas bool
+	}
+	got := make(map[key]EngineBenchEntry, len(curr.Entries))
+	for _, e := range curr.Entries {
+		got[key{e.Name, e.Arenas}] = e
+	}
+	var violations []string
+	for _, b := range base.Entries {
+		c, ok := got[key{b.Name, b.Arenas}]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("engine %s (arenas=%v): entry missing from the current record", b.Name, b.Arenas))
+			continue
+		}
+		switch {
+		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+			// A zero-allocation baseline admits no slack: any allocation
+			// is a regression (the arena work's end state must stay
+			// gate-covered).
+			violations = append(violations,
+				fmt.Sprintf("engine %s (arenas=%v): allocs_per_op %d regressed from a zero-allocation baseline",
+					b.Name, b.Arenas, c.AllocsPerOp))
+		case float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*AllocGrowthLimit:
+			violations = append(violations,
+				fmt.Sprintf("engine %s (arenas=%v): allocs_per_op %d exceeds baseline %d by more than %.0f%%",
+					b.Name, b.Arenas, c.AllocsPerOp, b.AllocsPerOp, (AllocGrowthLimit-1)*100))
+		}
+	}
+	return violations, nil
+}
+
+func gateEpisteme(baseline, current []byte) ([]string, error) {
+	var base, curr EpistemeBench
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline episteme record: %w", err)
+	}
+	if err := json.Unmarshal(current, &curr); err != nil {
+		return nil, fmt.Errorf("current episteme record: %w", err)
+	}
+	got := make(map[string]EpistemeBenchEntry, len(curr.Entries))
+	for _, e := range curr.Entries {
+		got[e.Name] = e
+	}
+	var violations []string
+	for _, b := range base.Entries {
+		c, ok := got[b.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("episteme %s: entry missing from the current record", b.Name))
+			continue
+		}
+		if c.Mismatches != 0 {
+			violations = append(violations,
+				fmt.Sprintf("episteme %s: %d implementation mismatches (theorems must machine-check)", b.Name, c.Mismatches))
+		}
+		if b.BuildSeconds > 0 && c.BuildSeconds > b.BuildSeconds*SecondsGrowthLimit {
+			violations = append(violations,
+				fmt.Sprintf("episteme %s: build_seconds %.4f exceeds baseline %.4f by more than %.0f×",
+					b.Name, c.BuildSeconds, b.BuildSeconds, SecondsGrowthLimit))
+		}
+		if b.Runs > 0 && c.Runs != b.Runs {
+			violations = append(violations,
+				fmt.Sprintf("episteme %s: %d runs, baseline enumerated %d (the sweep changed shape)",
+					b.Name, c.Runs, b.Runs))
+		}
+	}
+	return violations, nil
+}

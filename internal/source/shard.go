@@ -1,0 +1,141 @@
+// Deterministic striding: the source-level half of multi-process sharding.
+// A sweep's enumeration order is canonical, so splitting it by ordinal
+// modulo K is reproducible everywhere — K processes constructing the same
+// source and each keeping stripe i cover the sweep exactly once with no
+// coordination. ShardSpec is the "i/k" value that names a stripe and
+// round-trips through flags, environment variables, and config files.
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Stride returns stripe shardIndex of a deterministic shardCount-way
+// modular split of the source: the scenarios at ordinals shardIndex,
+// shardIndex+shardCount, shardIndex+2·shardCount, … of the source's own
+// order. The shardCount stripes partition the sweep exactly — no
+// scenario lost, none duplicated — and striding composes with the other
+// combinators (Limit, Filter, CrossInits) on either side; note the
+// composition order matters, e.g. Stride after Limit stripes the
+// truncated sweep, Limit after Stride truncates the stripe. The stripe's
+// Count is derived from the source's when known. shardCount 1 returns
+// the source unchanged; shardIndex outside [0, shardCount) is an error.
+func Stride(src Source, shardIndex, shardCount int) (Source, error) {
+	return core.Stride(src, shardIndex, shardCount)
+}
+
+// StripeSize returns the number of ordinals in [0, total) congruent to
+// shardIndex modulo shardCount — the length of that stripe of a
+// total-scenario sweep.
+func StripeSize(total int64, shardIndex, shardCount int) int64 {
+	return core.StripeSize(total, shardIndex, shardCount)
+}
+
+// ShardEnvVar is the conventional environment variable sharded tools read
+// a default ShardSpec from ("i/k"), so process launchers can assign
+// stripes without touching argument lists.
+const ShardEnvVar = "EBA_SHARD"
+
+// ShardSpec names one stripe of a deterministically split sweep: stripe
+// Index of a Count-way modular split. The zero value means the whole
+// sweep (stripe 0 of 1). It round-trips through flags (flag.Value),
+// text-based configs (encoding.TextMarshaler/TextUnmarshaler), and the
+// "i/k" string form CLI tools print.
+type ShardSpec struct {
+	// Index is the stripe, in [0, Count).
+	Index int
+	// Count is the number of stripes the sweep is split into.
+	Count int
+}
+
+// ParseShardSpec parses the "i/k" form (e.g. "0/3"). The empty string is
+// the whole sweep (0/1).
+func ParseShardSpec(s string) (ShardSpec, error) {
+	if s == "" {
+		return ShardSpec{Index: 0, Count: 1}, nil
+	}
+	is, ks, found := strings.Cut(s, "/")
+	if !found {
+		return ShardSpec{}, fmt.Errorf("source: shard spec %q is not of the form i/k", s)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(is))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("source: bad shard index in %q: %w", s, err)
+	}
+	k, err := strconv.Atoi(strings.TrimSpace(ks))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("source: bad shard count in %q: %w", s, err)
+	}
+	// Validate the raw values: an explicit "0/0" is malformed even though
+	// the zero ShardSpec value (no spec given at all) means the whole
+	// sweep.
+	if k < 1 {
+		return ShardSpec{}, fmt.Errorf("source: shard count %d in %q; need at least 1", k, s)
+	}
+	if i < 0 || i >= k {
+		return ShardSpec{}, fmt.Errorf("source: shard index %d in %q outside [0, %d)", i, s, k)
+	}
+	return ShardSpec{Index: i, Count: k}, nil
+}
+
+// norm maps the zero value onto its meaning, the whole sweep.
+func (sp ShardSpec) norm() ShardSpec {
+	if sp.Count == 0 && sp.Index == 0 {
+		return ShardSpec{Index: 0, Count: 1}
+	}
+	return sp
+}
+
+// Validate reports whether the spec names a stripe: Count ≥ 1 and Index
+// in [0, Count). The zero value is valid (the whole sweep).
+func (sp ShardSpec) Validate() error {
+	sp = sp.norm()
+	if sp.Count < 1 {
+		return fmt.Errorf("source: shard count %d; need at least 1", sp.Count)
+	}
+	if sp.Index < 0 || sp.Index >= sp.Count {
+		return fmt.Errorf("source: shard index %d outside [0, %d)", sp.Index, sp.Count)
+	}
+	return nil
+}
+
+// Whole reports whether the spec selects the entire sweep (a 1-way split).
+func (sp ShardSpec) Whole() bool { return sp.norm().Count == 1 }
+
+// Apply returns the spec's stripe of the source.
+func (sp ShardSpec) Apply(src Source) (Source, error) {
+	sp = sp.norm()
+	return Stride(src, sp.Index, sp.Count)
+}
+
+// String renders the "i/k" form. It is half of the flag.Value contract.
+func (sp ShardSpec) String() string {
+	sp = sp.norm()
+	return fmt.Sprintf("%d/%d", sp.Index, sp.Count)
+}
+
+// Set parses the "i/k" form into the receiver, completing flag.Value: a
+// *ShardSpec can be passed straight to flag.Var.
+func (sp *ShardSpec) Set(s string) error {
+	parsed, err := ParseShardSpec(s)
+	if err != nil {
+		return err
+	}
+	*sp = parsed
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (sp ShardSpec) MarshalText() ([]byte, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(sp.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (sp *ShardSpec) UnmarshalText(text []byte) error { return sp.Set(string(text)) }

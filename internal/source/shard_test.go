@@ -1,0 +1,268 @@
+package source
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// scenarioKey fingerprints a scenario for partition accounting.
+func scenarioKey(sc core.Scenario) string {
+	key := sc.Pattern.Key() + "|"
+	for _, v := range sc.Inits {
+		key += fmt.Sprint(int(v))
+	}
+	return key
+}
+
+// soSweep returns the exhaustive SO(t) pattern × inits product the eba
+// package exposes as SourceSO.
+func soSweep(t *testing.T, n, tf, horizon int) Source {
+	t.Helper()
+	pats, err := SO(n, tf, horizon, adversary.Options{})
+	if err != nil {
+		t.Fatalf("SO: %v", err)
+	}
+	src, err := CrossInits(pats, n)
+	if err != nil {
+		t.Fatalf("CrossInits: %v", err)
+	}
+	return src
+}
+
+// TestStridePartitionsSourceSO is the property test of the PR 5
+// checklist: for several K, the K stripes of the exhaustive SO sweep
+// partition it exactly — no gap, no overlap, and interleaving the
+// stripes by ordinal restores the canonical order, scenario for
+// scenario.
+func TestStridePartitionsSourceSO(t *testing.T) {
+	const n, tf = 3, 1
+	horizon := tf + 2
+	whole := collectAll(t, soSweep(t, n, tf, horizon))
+	if len(whole) == 0 {
+		t.Fatal("empty exhaustive sweep")
+	}
+
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		stripes := make([][]core.Scenario, k)
+		for i := 0; i < k; i++ {
+			stripe, err := Stride(soSweep(t, n, tf, horizon), i, k)
+			if err != nil {
+				t.Fatalf("Stride %d/%d: %v", i, k, err)
+			}
+			if c, ok := stripe.Count(); !ok || c != StripeSize(int64(len(whole)), i, k) {
+				t.Fatalf("stripe %d/%d counts %d (known %v), want %d", i, k, c, ok,
+					StripeSize(int64(len(whole)), i, k))
+			}
+			stripes[i] = collectAll(t, stripe)
+			if int64(len(stripes[i])) != StripeSize(int64(len(whole)), i, k) {
+				t.Fatalf("stripe %d/%d yielded %d scenarios, want %d", i, k, len(stripes[i]),
+					StripeSize(int64(len(whole)), i, k))
+			}
+		}
+		// Interleave by ordinal and compare against the canonical order.
+		for ord := range whole {
+			stripe := stripes[ord%k]
+			got := stripe[ord/k]
+			if scenarioKey(got) != scenarioKey(whole[ord]) {
+				t.Fatalf("k=%d ordinal %d: stripe yields %s, canonical order has %s",
+					k, ord, scenarioKey(got), scenarioKey(whole[ord]))
+			}
+		}
+	}
+}
+
+// TestStrideShardCountBeyondLength checks stripes past the source's
+// length come back empty — with correct counts — and the populated
+// stripes still partition it.
+func TestStrideShardCountBeyondLength(t *testing.T) {
+	scenarios := make([]core.Scenario, 3)
+	for i := range scenarios {
+		scenarios[i] = core.Scenario{
+			Pattern: model.NewPattern(3, 2),
+			Inits:   []model.Value{model.Value(i & 1), model.Value(i >> 1), model.Zero},
+		}
+	}
+	const k = 7
+	for i := 0; i < k; i++ {
+		stripe, err := Stride(FromSlice(scenarios), i, k)
+		if err != nil {
+			t.Fatalf("Stride %d/%d: %v", i, k, err)
+		}
+		got := collectAll(t, stripe)
+		want := 0
+		if i < len(scenarios) {
+			want = 1
+		}
+		if len(got) != want {
+			t.Fatalf("stripe %d/%d of a 3-scenario source yielded %d scenarios, want %d", i, k, len(got), want)
+		}
+		if c, ok := stripe.Count(); !ok || int(c) != want {
+			t.Fatalf("stripe %d/%d counts %d (known %v), want %d", i, k, c, ok, want)
+		}
+	}
+}
+
+// TestStrideEmptySource checks every stripe of an empty source is empty.
+func TestStrideEmptySource(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		stripe, err := Stride(FromSlice(nil), i, 3)
+		if err != nil {
+			t.Fatalf("Stride %d/3: %v", i, 3)
+		}
+		if got := collectAll(t, stripe); len(got) != 0 {
+			t.Fatalf("stripe %d/3 of an empty source yielded %d scenarios", i, len(got))
+		}
+		if c, ok := stripe.Count(); !ok || c != 0 {
+			t.Fatalf("stripe %d/3 of an empty source counts %d (known %v)", i, c, ok)
+		}
+	}
+}
+
+// TestStrideCancellationMidStripe cancels a streaming run fed by a
+// stripe and checks the Runner winds down without draining the stripe,
+// with the cancellation cause intact.
+func TestStrideCancellationMidStripe(t *testing.T) {
+	const n, tf = 3, 1
+	stack := core.MustStack("min", core.WithN(n), core.WithT(tf))
+	stripe, err := Stride(soSweep(t, n, tf, stack.Horizon()), 1, 3)
+	if err != nil {
+		t.Fatalf("Stride: %v", err)
+	}
+	total, _ := stripe.Count()
+
+	cause := fmt.Errorf("stripe preempted")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	runner := core.NewRunner(stack, core.WithParallelism(2))
+	seen := 0
+	for oc := range runner.StreamFrom(ctx, stripe) {
+		seen++
+		if seen == 5 {
+			cancel(cause)
+		}
+		if oc.Err != nil && ctx.Err() == nil {
+			t.Fatalf("outcome %d failed before cancellation: %v", oc.Index, oc.Err)
+		}
+	}
+	if int64(seen) >= total {
+		t.Fatalf("stream drained the whole %d-scenario stripe despite cancellation", total)
+	}
+	if context.Cause(ctx) != cause {
+		t.Fatalf("context cause = %v, want %v", context.Cause(ctx), cause)
+	}
+}
+
+// TestStrideComposesWithLimit pins the documented composition order:
+// Stride after Limit stripes the truncated sweep; Limit after Stride
+// truncates the stripe.
+func TestStrideComposesWithLimit(t *testing.T) {
+	const n, tf = 3, 1
+	horizon := tf + 2
+	whole := collectAll(t, soSweep(t, n, tf, horizon))
+
+	limited, err := Stride(Limit(soSweep(t, n, tf, horizon), 10), 1, 3)
+	if err != nil {
+		t.Fatalf("Stride(Limit): %v", err)
+	}
+	got := collectAll(t, limited)
+	if len(got) != 3 { // ordinals 1, 4, 7 of the first 10
+		t.Fatalf("Stride(Limit(10), 1/3) yielded %d scenarios, want 3", len(got))
+	}
+	for j, ord := range []int{1, 4, 7} {
+		if scenarioKey(got[j]) != scenarioKey(whole[ord]) {
+			t.Fatalf("Stride(Limit) scenario %d is not canonical ordinal %d", j, ord)
+		}
+	}
+
+	stripeFirst, err := Stride(soSweep(t, n, tf, horizon), 1, 3)
+	if err != nil {
+		t.Fatalf("Stride: %v", err)
+	}
+	got = collectAll(t, Limit(stripeFirst, 2))
+	if len(got) != 2 { // ordinals 1, 4 of the whole sweep
+		t.Fatalf("Limit(Stride, 2) yielded %d scenarios, want 2", len(got))
+	}
+	for j, ord := range []int{1, 4} {
+		if scenarioKey(got[j]) != scenarioKey(whole[ord]) {
+			t.Fatalf("Limit(Stride) scenario %d is not canonical ordinal %d", j, ord)
+		}
+	}
+}
+
+// TestShardSpecRoundTrips checks the i/k value survives flags, text
+// marshaling, and JSON embedding, and rejects malformed specs.
+func TestShardSpecRoundTrips(t *testing.T) {
+	for _, s := range []string{"0/1", "2/3", "7/8"} {
+		sp, err := ParseShardSpec(s)
+		if err != nil {
+			t.Fatalf("ParseShardSpec(%q): %v", s, err)
+		}
+		if sp.String() != s {
+			t.Fatalf("ParseShardSpec(%q).String() = %q", s, sp.String())
+		}
+		text, err := sp.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%q): %v", s, err)
+		}
+		var back ShardSpec
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != sp {
+			t.Fatalf("text round-trip of %q: %+v != %+v", s, back, sp)
+		}
+	}
+
+	// The empty string and the zero value both mean the whole sweep.
+	sp, err := ParseShardSpec("")
+	if err != nil || !sp.Whole() {
+		t.Fatalf(`ParseShardSpec("") = %+v, %v; want the whole sweep`, sp, err)
+	}
+	var zero ShardSpec
+	if !zero.Whole() || zero.Validate() != nil || zero.String() != "0/1" {
+		t.Fatalf("zero ShardSpec = %q (valid: %v)", zero.String(), zero.Validate())
+	}
+
+	// flag.Value integration.
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var flagSpec ShardSpec
+	fs.Var(&flagSpec, "shard", "")
+	if err := fs.Parse([]string{"-shard", "1/4"}); err != nil {
+		t.Fatalf("flag parse: %v", err)
+	}
+	if flagSpec != (ShardSpec{Index: 1, Count: 4}) {
+		t.Fatalf("flag parsed %+v", flagSpec)
+	}
+
+	// JSON embedding via TextMarshaler.
+	data, err := json.Marshal(map[string]ShardSpec{"shard": {Index: 2, Count: 5}})
+	if err != nil || string(data) != `{"shard":"2/5"}` {
+		t.Fatalf("json.Marshal = %s, %v", data, err)
+	}
+
+	for _, bad := range []string{"x", "1", "a/b", "3/3", "-1/2", "0/0", "1/0"} {
+		if _, err := ParseShardSpec(bad); err == nil {
+			t.Fatalf("ParseShardSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+
+	// Apply stripes a source like Stride does.
+	scenarios := make([]core.Scenario, 5)
+	for i := range scenarios {
+		scenarios[i] = core.Scenario{Pattern: model.NewPattern(2, 1), Inits: []model.Value{model.Zero, model.One}}
+	}
+	striped, err := ShardSpec{Index: 1, Count: 2}.Apply(FromSlice(scenarios))
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := collectAll(t, striped); len(got) != 2 {
+		t.Fatalf("Apply(1/2) over 5 scenarios yielded %d, want 2", len(got))
+	}
+}

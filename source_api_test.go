@@ -1,7 +1,10 @@
 package eba_test
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -194,5 +197,113 @@ func TestSourceLimitThroughRunner(t *testing.T) {
 	}
 	if len(results) != 25 {
 		t.Fatalf("RunSource over limited bounded source returned %d results, want 25", len(results))
+	}
+}
+
+// TestPublicShardAndMerge drives the whole shard-and-merge surface
+// through the public API: stride the exhaustive sweep into 3 stripes,
+// RunShard each, MergeOutcomes them, and pin the merged stream and
+// digest against the single-process (0/1) run — then do the same for
+// the model checker through BuildShardIndex + MergeSystems.
+func TestPublicShardAndMerge(t *testing.T) {
+	ctx := context.Background()
+	stack, err := eba.NewStack("fip", eba.WithN(3), eba.WithT(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func() eba.Source {
+		src, err := eba.SourceSO(3, 1, stack.Horizon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+
+	// SourceStride partitions the sweep.
+	if _, err := eba.SourceStride(sweep(), 3, 3); err == nil {
+		t.Fatal("SourceStride accepted an out-of-range index")
+	}
+	stripe, err := eba.SourceStride(sweep(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, _ := sweep().Count()
+	if c, ok := stripe.Count(); !ok || c != (whole-2+2)/3 {
+		t.Fatalf("stripe 2/3 counts %d of %d", c, whole)
+	}
+
+	runner := eba.NewRunner(stack, eba.WithParallelism(4), eba.WithBufferReuse())
+	var single bytes.Buffer
+	singleSum, err := runner.RunShard(ctx, sweep(), 0, 1, &single)
+	if err != nil {
+		t.Fatalf("RunShard 0/1: %v", err)
+	}
+	streams := make([]io.Reader, 3)
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if _, err := runner.RunShard(ctx, sweep(), i, 3, &buf); err != nil {
+			t.Fatalf("RunShard %d/3: %v", i, err)
+		}
+		streams[i] = bytes.NewReader(buf.Bytes())
+	}
+	var merged bytes.Buffer
+	mergeSum, err := eba.MergeOutcomes(&merged, streams...)
+	if err != nil {
+		t.Fatalf("MergeOutcomes: %v", err)
+	}
+	if mergeSum.Digest != singleSum.Digest {
+		t.Fatalf("merged digest %s, single-process digest %s", mergeSum.Digest, singleSum.Digest)
+	}
+	if !bytes.Equal(merged.Bytes(), single.Bytes()) {
+		t.Fatal("merged stream is not bit-identical to the single-process stream")
+	}
+
+	// Model checker: merged verdicts == single-process verdicts.
+	sys, err := eba.BuildSystem(ctx, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.CheckImplements(ctx, eba.ProgramP1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*eba.ShardIndex, 3)
+	for i := range shards {
+		idx, err := eba.BuildShardIndex(ctx, stack, i, 3)
+		if err != nil {
+			t.Fatalf("BuildShardIndex %d/3: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := eba.WriteShardIndex(&buf, idx); err != nil {
+			t.Fatal(err)
+		}
+		if shards[i], err = eba.ReadShardIndex(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mergedSys, err := eba.MergeSystems(ctx, shards)
+	if err != nil {
+		t.Fatalf("MergeSystems: %v", err)
+	}
+	got, err := mergedSys.CheckImplements(ctx, eba.ProgramP1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged verdicts %v, single-process %v", got, want)
+	}
+}
+
+// TestPublicShardSpec pins the flag/env round-trip surface.
+func TestPublicShardSpec(t *testing.T) {
+	sp, err := eba.ParseShardSpec("2/5")
+	if err != nil || sp.Index != 2 || sp.Count != 5 || sp.String() != "2/5" {
+		t.Fatalf("ParseShardSpec = %+v, %v", sp, err)
+	}
+	if eba.ShardEnvVar != "EBA_SHARD" {
+		t.Fatalf("ShardEnvVar = %q", eba.ShardEnvVar)
+	}
+	if _, err := eba.ParseShardSpec("5/5"); err == nil {
+		t.Fatal("out-of-range spec accepted")
 	}
 }

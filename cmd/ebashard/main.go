@@ -28,15 +28,32 @@
 // prints deterministic verdict lines (implements / safety / optimality),
 // so sharded and unsharded checker outputs can be diffed directly.
 // -shard defaults to $EBA_SHARD when set ("i/k"), else to 0/1.
+//
+// Fleet mode: -worker joins a cross-machine fabric instead of running a
+// fixed -shard stripe. The worker pulls stripe leases from the ebacoord
+// coordinator at the given URL, runs them through the same paths as
+// above, heartbeats while a stripe runs, and uploads sealed results with
+// bounded retry and backoff. SIGTERM drains gracefully (the stripe in
+// hand finishes and uploads); a second signal aborts.
+//
+//	ebashard -worker http://coord:8123 -parallel 4
+//
+// Exit codes separate failure classes: 2 for verification failures
+// (torn/tampered data, digest conflicts, failed verdicts — a rerun
+// reproduces them), 3 for transport failures (coordinator unreachable
+// after bounded retries — a rerun might not), 1 for everything else.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	eba "repro"
 )
@@ -44,7 +61,20 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ebashard:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps an error to the command's exit code: verification
+// failures and transport failures are distinguishable by the caller.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, eba.ErrFabricVerification):
+		return 2
+	case errors.Is(err, eba.ErrFabricTransport):
+		return 3
+	default:
+		return 1
 	}
 }
 
@@ -61,6 +91,9 @@ func run(args []string) error {
 		spec       = fs.Bool("spec", true, "sweep mode: spec-check every run (a violation aborts the shard)")
 		safety     = fs.Bool("safety", false, "-check -merge: also check the Definition 6.2 safety condition")
 		optimality = fs.Bool("optimality", true, "-check -merge: for fip, check the Theorem 7.5 characterization")
+		worker     = fs.String("worker", "", "join the fabric coordinator at this URL as a worker")
+		workerID   = fs.String("id", "", "worker identity reported to the coordinator (default hostname-pid)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "worker mode: per-request timeout on every network call")
 	)
 	shard := eba.ShardSpec{}
 	if env := os.Getenv(eba.ShardEnvVar); env != "" {
@@ -76,6 +109,8 @@ func run(args []string) error {
 	}
 
 	switch {
+	case *worker != "":
+		return runWorker(*worker, *workerID, *parallel, *timeout)
 	case *merge && *check:
 		return mergeIndexes(fs.Args(), *out, *parallel, *safety, *optimality)
 	case *merge:
@@ -85,6 +120,40 @@ func run(args []string) error {
 	default:
 		return runStripe(*stackName, *n, *t, shard, *out, *parallel, *spec)
 	}
+}
+
+// runWorker joins the fabric coordinator at coordURL and runs stripes
+// until the job completes. The first SIGTERM/SIGINT drains gracefully —
+// the stripe in hand finishes and uploads — and a second aborts.
+func runWorker(coordURL, id string, parallel int, timeout time.Duration) error {
+	w, err := eba.NewFabricWorker(eba.WorkerConfig{
+		Coordinator:    coordURL,
+		ID:             id,
+		Parallelism:    parallel,
+		RequestTimeout: timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "ebashard: draining — finishing the stripe in hand (signal again to abort)")
+		w.Drain()
+		<-sig
+		cancel(fmt.Errorf("aborted by second signal"))
+	}()
+	sum, err := w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "ebashard: worker %s done: %d stripe(s), %d records, %d lease(s) lost, %d reject(s)\n",
+		w.ID(), sum.Stripes, sum.Records, sum.LeasesLost, sum.Rejects)
+	return err
 }
 
 // openOut resolves -out: stdout for "-", else the file (truncated).
@@ -230,91 +299,17 @@ func mergeIndexes(paths []string, out string, parallel int, safety, optimality b
 	if stackName == "" {
 		return fmt.Errorf("shard indexes carry no stack name (rebuild them with ebashard -check, which records it)")
 	}
-	var info eba.StackInfo
-	for _, si := range eba.Stacks() {
-		if si.Name == stackName {
-			info = si
-			break
-		}
-	}
-	if info.Name == "" {
-		return fmt.Errorf("shard indexes name unknown stack %q", stackName)
-	}
-	if info.Program == "" {
-		return fmt.Errorf("stack %q declares no knowledge-based program to check against", stackName)
-	}
-	prog := eba.ProgramP0
-	if info.Program == "P1" {
-		prog = eba.ProgramP1
-	}
 
 	w, closeOut, err := openOut(out)
 	if err != nil {
 		return err
 	}
-	verdictErr := printVerdicts(ctx, w, sys, stackName, prog, safety, optimality)
+	// The one shared verdict writer: the fabric coordinator's check-job
+	// merge goes through the same function, so a fleet run's verdicts and
+	// this command's diff clean.
+	verdictErr := eba.WriteVerdicts(ctx, w, sys, stackName, eba.VerdictOptions{Safety: safety, Optimality: optimality})
 	if cerr := closeOut(); verdictErr == nil {
 		verdictErr = cerr
 	}
 	return verdictErr
-}
-
-// printVerdicts writes the deterministic verdict block — no timings, so
-// sharded and unsharded outputs diff clean.
-func printVerdicts(ctx context.Context, w io.Writer, sys *eba.System, stackName string, prog eba.Program, safety, optimality bool) error {
-	fmt.Fprintf(w, "stack: %s (n=%d, t=%d, horizon=%d)\n", stackName, sys.N, sys.T, sys.Horizon)
-	fmt.Fprintf(w, "runs: %d\n", len(sys.Runs))
-
-	failed := false
-	ms, err := sys.CheckImplements(ctx, prog, 5)
-	if err != nil {
-		return err
-	}
-	if len(ms) == 0 {
-		fmt.Fprintf(w, "implements %v: OK\n", prog)
-	} else {
-		failed = true
-		fmt.Fprintf(w, "implements %v: FAILED\n", prog)
-		for _, m := range ms {
-			fmt.Fprintf(w, "  %s\n", m)
-		}
-	}
-
-	if safety {
-		vs, err := sys.CheckSafety(ctx, 5)
-		if err != nil {
-			return err
-		}
-		if len(vs) == 0 {
-			fmt.Fprintf(w, "safety: OK\n")
-		} else {
-			fmt.Fprintf(w, "safety: violated\n")
-			for _, v := range vs {
-				fmt.Fprintf(w, "  %s\n", v)
-			}
-			if !strings.HasPrefix(stackName, "fip") {
-				failed = true
-			}
-		}
-	}
-
-	if optimality && stackName == "fip" {
-		vs, err := sys.CheckOptimalityFIP(ctx, -1, 5)
-		if err != nil {
-			return err
-		}
-		if len(vs) == 0 {
-			fmt.Fprintf(w, "optimality: OK\n")
-		} else {
-			failed = true
-			fmt.Fprintf(w, "optimality: FAILED\n")
-			for _, v := range vs {
-				fmt.Fprintf(w, "  %s\n", v)
-			}
-		}
-	}
-	if failed {
-		return fmt.Errorf("verdicts failed")
-	}
-	return nil
 }

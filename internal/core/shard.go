@@ -194,13 +194,15 @@ func newOutcomeRecord(ordinal int64, res *engine.Result) (OutcomeRecord, error) 
 		rec.Decisions[i] = int(res.Decision[i])
 		rec.Rounds[i] = res.DecisionRound[i]
 	}
-	rec.Digest = rec.computeDigest()
+	rec.Digest = rec.ComputeDigest()
 	return rec, nil
 }
 
-// computeDigest fingerprints the record's content (everything but the
-// Digest field itself).
-func (r *OutcomeRecord) computeDigest() string {
+// ComputeDigest fingerprints the record's content (everything but the
+// Digest field itself). It is the stripe-level integrity primitive the
+// cross-machine fabric verifies uploads with: a record is intact exactly
+// when its Digest field equals its ComputeDigest.
+func (r *OutcomeRecord) ComputeDigest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%d|%s|%v|%v|%v|%d|%d|%d|%d",
 		r.Ordinal, r.Pattern, r.Inits, r.Decisions, r.Rounds,
@@ -391,7 +393,7 @@ func (or *OutcomeReader) Next() (*OutcomeRecord, error) {
 		return nil, fmt.Errorf("core: shard %d/%d: decoding record %d: %w",
 			or.header.Shard, or.header.Shards, or.records, err)
 	}
-	if want := rec.computeDigest(); rec.Digest != want {
+	if want := rec.ComputeDigest(); rec.Digest != want {
 		return nil, fmt.Errorf("core: shard %d/%d: ordinal %d carries digest %s, content hashes to %s",
 			or.header.Shard, or.header.Shards, rec.Ordinal, rec.Digest, want)
 	}
@@ -402,6 +404,70 @@ func (or *OutcomeReader) Next() (*OutcomeRecord, error) {
 	or.chain.add(rec.Digest)
 	or.records++
 	return &rec, nil
+}
+
+// VerifyOutcomeStream drains one shard's outcome stream, verifying every
+// record digest, the stripe membership of every ordinal, and the sealing
+// footer, and returns the stream's summary (header, record count, chained
+// digest). It is the acceptance check a fan-in process — cmd/ebashard's
+// -merge, the fabric coordinator's upload endpoint — runs before trusting
+// a stripe: a torn, truncated, or tampered stream is reported as an
+// error, never as a summary.
+func VerifyOutcomeStream(r io.Reader) (*ShardSummary, error) {
+	or, err := NewOutcomeReader(r)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := or.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+	}
+	foot := or.Footer()
+	return &ShardSummary{Header: or.Header(), Records: foot.Records, Digest: foot.Digest}, nil
+}
+
+// WriteOutcomeStream re-seals records into a valid outcome stream:
+// header, the records in the given order with their digests recomputed
+// from content, and a footer chaining them. It is the re-spooling face of
+// the format — what RunShard produces by executing, WriteOutcomeStream
+// produces from records already in hand — and the byte encoding is
+// identical, so a re-spooled stripe still compares with cmp(1).
+func WriteOutcomeStream(w io.Writer, hdr ShardHeader, recs []OutcomeRecord) (*ShardSummary, error) {
+	if hdr.Kind == "" {
+		hdr.Kind = outcomeKind
+	}
+	if hdr.Version == 0 {
+		hdr.Version = outcomeVersion
+	}
+	if hdr.Kind != outcomeKind || hdr.Version != outcomeVersion {
+		return nil, fmt.Errorf("core: writing outcome stream of kind %q version %d; this writer speaks %q version %d",
+			hdr.Kind, hdr.Version, outcomeKind, outcomeVersion)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, fmt.Errorf("core: writing header: %w", err)
+	}
+	var chain digestChain
+	for i := range recs {
+		rec := recs[i]
+		rec.Digest = rec.ComputeDigest()
+		chain.add(rec.Digest)
+		if err := enc.Encode(&rec); err != nil {
+			return nil, fmt.Errorf("core: writing ordinal %d: %w", rec.Ordinal, err)
+		}
+	}
+	foot := ShardFooter{Kind: footerKind, Records: int64(len(recs)), Digest: chain.hex()}
+	if err := enc.Encode(foot); err != nil {
+		return nil, fmt.Errorf("core: writing footer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("core: flushing stream: %w", err)
+	}
+	return &ShardSummary{Header: hdr, Records: foot.Records, Digest: foot.Digest}, nil
 }
 
 // --- merging: MergeOutcomes ----------------------------------------------

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"strings"
@@ -274,5 +275,159 @@ func TestMergedStreamIsReadable(t *testing.T) {
 	}
 	if sum2.Total != 10 {
 		t.Fatalf("re-merge saw %d records, want 10", sum2.Total)
+	}
+}
+
+// TestMergeDiagnosesTornStreams drives MergeOutcomes — and
+// VerifyOutcomeStream, the fabric coordinator's upload check — with the
+// torn streams a killed or corrupted worker can produce, and checks each
+// failure is reported diagnosably: truncation mid-record, a cleanly
+// missing footer, a footer that lies about its count or digest, and a
+// duplicated stripe alongside a complete set.
+func TestMergeDiagnosesTornStreams(t *testing.T) {
+	st := MustStack("min", WithN(3), WithT(1))
+	scenarios := shardScenarios(t, 3, st.Horizon(), 12)
+	runner := NewRunner(st)
+	_, s0 := runShardStream(t, runner, scenarios, 0, 3)
+	_, s1 := runShardStream(t, runner, scenarios, 1, 3)
+	_, s2 := runShardStream(t, runner, scenarios, 2, 3)
+
+	rows := bytes.Split(bytes.TrimSuffix(s2, []byte("\n")), []byte("\n"))
+	if len(rows) < 3 {
+		t.Fatalf("stripe stream has %d lines; need header, records, footer", len(rows))
+	}
+	join := func(rs [][]byte) []byte {
+		return append(bytes.Join(rs, []byte("\n")), '\n')
+	}
+
+	// A footer whose count (then digest) lies, re-serialized in place.
+	var foot ShardFooter
+	if err := json.Unmarshal(rows[len(rows)-1], &foot); err != nil {
+		t.Fatalf("decoding footer: %v", err)
+	}
+	countLie, digestLie := foot, foot
+	countLie.Records++
+	digestLie.Digest = strings.Repeat("0", len(foot.Digest))
+	reseal := func(f ShardFooter) []byte {
+		line, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("re-marshaling footer: %v", err)
+		}
+		return join(append(append([][]byte{}, rows[:len(rows)-1]...), line))
+	}
+
+	cases := []struct {
+		name   string
+		stream []byte
+		want   []string // any of these substrings diagnoses it
+	}{
+		{
+			"truncated mid-record",
+			append(join(rows[:1]), rows[1][:len(rows[1])/2]...),
+			[]string{"decoding record", "truncated"},
+		},
+		{
+			"missing footer",
+			join(rows[:len(rows)-1]),
+			[]string{"no footer"},
+		},
+		{
+			"footer count lie",
+			reseal(countLie),
+			[]string{"footer claims"},
+		},
+		{
+			"footer digest lie",
+			reseal(digestLie),
+			[]string{"does not match the record chain"},
+		},
+	}
+	for _, tc := range cases {
+		diagnosed := func(err error) bool {
+			if err == nil {
+				return false
+			}
+			for _, w := range tc.want {
+				if strings.Contains(err.Error(), w) {
+					return true
+				}
+			}
+			return false
+		}
+		_, err := MergeOutcomes(nil, bytes.NewReader(s0), bytes.NewReader(s1), bytes.NewReader(tc.stream))
+		if !diagnosed(err) {
+			t.Errorf("%s: merge err = %v, want one of %q", tc.name, err, tc.want)
+		}
+		_, err = VerifyOutcomeStream(bytes.NewReader(tc.stream))
+		if !diagnosed(err) {
+			t.Errorf("%s: verify err = %v, want one of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A duplicated stripe alongside the complete set is caught by the
+	// stream-count accounting (four streams can't be a 3-way split);
+	// a duplicate replacing a stripe is caught by the claim check.
+	_, err := MergeOutcomes(nil, bytes.NewReader(s0), bytes.NewReader(s1),
+		bytes.NewReader(s2), bytes.NewReader(s2))
+	if err == nil || !strings.Contains(err.Error(), "declares a 3-way split") {
+		t.Errorf("extra duplicated stripe: err = %v, want a stream-count diagnosis", err)
+	}
+	_, err = MergeOutcomes(nil, bytes.NewReader(s0), bytes.NewReader(s2), bytes.NewReader(s2))
+	if err == nil || !strings.Contains(err.Error(), "claim shard") {
+		t.Errorf("duplicated stripe: err = %v, want a both-claim-shard diagnosis", err)
+	}
+}
+
+// TestWriteOutcomeStreamReseals checks WriteOutcomeStream produces a
+// stream VerifyOutcomeStream accepts, with digests recomputed from the
+// (possibly modified) records — the hook fabric tests use to craft
+// valid-but-different stripes.
+func TestWriteOutcomeStreamReseals(t *testing.T) {
+	st := MustStack("min", WithN(3), WithT(1))
+	scenarios := shardScenarios(t, 3, st.Horizon(), 9)
+	runner := NewRunner(st)
+	_, raw := runShardStream(t, runner, scenarios, 1, 3)
+
+	or, err := NewOutcomeReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("NewOutcomeReader: %v", err)
+	}
+	var recs []OutcomeRecord
+	for {
+		rec, err := or.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		recs = append(recs, *rec)
+	}
+
+	// Unmodified records re-seal to the identical stream.
+	var same bytes.Buffer
+	sum, err := WriteOutcomeStream(&same, or.Header(), recs)
+	if err != nil {
+		t.Fatalf("WriteOutcomeStream: %v", err)
+	}
+	if !bytes.Equal(same.Bytes(), raw) {
+		t.Fatal("re-sealed stream differs from the original")
+	}
+	if sum.Digest != or.Footer().Digest {
+		t.Fatalf("re-sealed digest %s, original %s", sum.Digest, or.Footer().Digest)
+	}
+
+	// Modified records re-seal to a valid stream with a different digest.
+	recs[0].Rounds[0]++
+	var mod bytes.Buffer
+	modSum, err := WriteOutcomeStream(&mod, or.Header(), recs)
+	if err != nil {
+		t.Fatalf("WriteOutcomeStream(modified): %v", err)
+	}
+	if modSum.Digest == sum.Digest {
+		t.Fatal("modified records re-sealed to the same digest")
+	}
+	if _, err := VerifyOutcomeStream(bytes.NewReader(mod.Bytes())); err != nil {
+		t.Fatalf("re-sealed modified stream fails verification: %v", err)
 	}
 }

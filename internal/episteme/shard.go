@@ -22,6 +22,8 @@ package episteme
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -193,9 +195,28 @@ func ReadShardIndex(r io.Reader) (*ShardIndex, error) {
 	return &idx, nil
 }
 
-// validate checks the index's internal consistency: bounds, table shapes,
-// and class ids referencing declared classes.
-func (idx *ShardIndex) validate() error {
+// Digest fingerprints the index's canonical JSON serialization. Two
+// indexes digest equal exactly when WriteShardIndex would emit identical
+// bytes for them — the identity the fabric coordinator resolves duplicate
+// stripe uploads by (first sealed valid upload wins; a conflicting digest
+// for the same stripe is a fatal inconsistency).
+func (idx *ShardIndex) Digest() string {
+	data, err := json.Marshal(idx)
+	if err != nil {
+		// Marshaling fixed structs of ints and strings cannot fail; an
+		// impossible-input digest keeps the failure observable without
+		// burdening every caller with an error path.
+		return "unmarshalable:" + err.Error()
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Validate checks the index's internal consistency: bounds, table shapes,
+// and class ids referencing declared classes. ReadShardIndex callers that
+// accept indexes across a trust boundary (the fabric coordinator) call it
+// before merging; MergeSystems always does.
+func (idx *ShardIndex) Validate() error {
 	if idx.Shards < 1 || idx.Shard < 0 || idx.Shard >= idx.Shards {
 		return fmt.Errorf("episteme: shard index declares shard %d of %d", idx.Shard, idx.Shards)
 	}
@@ -304,7 +325,7 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*S
 	}
 	byShard := make([]*ShardIndex, k)
 	for _, idx := range shards {
-		if err := idx.validate(); err != nil {
+		if err := idx.Validate(); err != nil {
 			return nil, err
 		}
 		if idx.Shards != k {

@@ -52,34 +52,57 @@ type ShardSpec struct {
 	Count int
 }
 
-// ParseShardSpec parses the "i/k" form (e.g. "0/3"). The empty string is
-// the whole sweep (0/1).
+// ParseShardSpec parses the "i/k" form (e.g. "0/3"). Outer whitespace is
+// trimmed — specs arrive through environment variables and config files,
+// which pick up stray padding like " 1/3 " — but whitespace (or a sign)
+// inside either number is a typo and rejected. The empty string is the
+// whole sweep (0/1). Every error names the offending input verbatim.
 func ParseShardSpec(s string) (ShardSpec, error) {
-	if s == "" {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
 		return ShardSpec{Index: 0, Count: 1}, nil
 	}
-	is, ks, found := strings.Cut(s, "/")
+	is, ks, found := strings.Cut(trimmed, "/")
 	if !found {
 		return ShardSpec{}, fmt.Errorf("source: shard spec %q is not of the form i/k", s)
 	}
-	i, err := strconv.Atoi(strings.TrimSpace(is))
+	i, err := parseShardInt(is)
 	if err != nil {
-		return ShardSpec{}, fmt.Errorf("source: bad shard index in %q: %w", s, err)
+		return ShardSpec{}, fmt.Errorf("source: shard spec %q: bad index: %w", s, err)
 	}
-	k, err := strconv.Atoi(strings.TrimSpace(ks))
+	k, err := parseShardInt(ks)
 	if err != nil {
-		return ShardSpec{}, fmt.Errorf("source: bad shard count in %q: %w", s, err)
+		return ShardSpec{}, fmt.Errorf("source: shard spec %q: bad count: %w", s, err)
 	}
 	// Validate the raw values: an explicit "0/0" is malformed even though
 	// the zero ShardSpec value (no spec given at all) means the whole
 	// sweep.
 	if k < 1 {
-		return ShardSpec{}, fmt.Errorf("source: shard count %d in %q; need at least 1", k, s)
+		return ShardSpec{}, fmt.Errorf("source: shard spec %q: count %d; need at least 1", s, k)
 	}
-	if i < 0 || i >= k {
-		return ShardSpec{}, fmt.Errorf("source: shard index %d in %q outside [0, %d)", i, s, k)
+	if i >= k {
+		return ShardSpec{}, fmt.Errorf("source: shard spec %q: index %d outside [0, %d)", s, i, k)
 	}
 	return ShardSpec{Index: i, Count: k}, nil
+}
+
+// parseShardInt parses one side of the "i/k" form strictly: unsigned
+// decimal digits only, so "1 / 3" and "+1/3" fail loudly instead of
+// parsing differently in different tools.
+func parseShardInt(part string) (int, error) {
+	if part == "" {
+		return 0, fmt.Errorf("missing value")
+	}
+	for _, r := range part {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("%q is not an unsigned decimal", part)
+		}
+	}
+	v, err := strconv.Atoi(part)
+	if err != nil {
+		return 0, fmt.Errorf("%q: %w", part, err)
+	}
+	return v, nil
 }
 
 // norm maps the zero value onto its meaning, the whole sweep.
@@ -91,14 +114,15 @@ func (sp ShardSpec) norm() ShardSpec {
 }
 
 // Validate reports whether the spec names a stripe: Count ≥ 1 and Index
-// in [0, Count). The zero value is valid (the whole sweep).
+// in [0, Count). The zero value is valid (the whole sweep). Errors name
+// the offending spec in its "i/k" form.
 func (sp ShardSpec) Validate() error {
 	sp = sp.norm()
 	if sp.Count < 1 {
-		return fmt.Errorf("source: shard count %d; need at least 1", sp.Count)
+		return fmt.Errorf("source: shard spec %d/%d: count %d; need at least 1", sp.Index, sp.Count, sp.Count)
 	}
 	if sp.Index < 0 || sp.Index >= sp.Count {
-		return fmt.Errorf("source: shard index %d outside [0, %d)", sp.Index, sp.Count)
+		return fmt.Errorf("source: shard spec %d/%d: index %d outside [0, %d)", sp.Index, sp.Count, sp.Index, sp.Count)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/adversary"
@@ -264,5 +265,92 @@ func TestShardSpecRoundTrips(t *testing.T) {
 	}
 	if got := collectAll(t, striped); len(got) != 2 {
 		t.Fatalf("Apply(1/2) over 5 scenarios yielded %d, want 2", len(got))
+	}
+}
+
+// TestParseShardSpecWhitespaceAndErrors pins ParseShardSpec's whitespace
+// contract — outer padding (the kind $EBA_SHARD picks up from process
+// launchers) is trimmed, interior whitespace and signs are typos — and
+// that every error names the offending input verbatim.
+func TestParseShardSpecWhitespaceAndErrors(t *testing.T) {
+	good := []struct {
+		in   string
+		want ShardSpec
+	}{
+		{"1/3", ShardSpec{Index: 1, Count: 3}},
+		{" 1/3 ", ShardSpec{Index: 1, Count: 3}},
+		{"\t0/8\n", ShardSpec{Index: 0, Count: 8}},
+		{"  ", ShardSpec{Index: 0, Count: 1}}, // all-whitespace == unset
+		{"", ShardSpec{Index: 0, Count: 1}},
+	}
+	for _, tc := range good {
+		sp, err := ParseShardSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseShardSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if sp != tc.want {
+			t.Errorf("ParseShardSpec(%q) = %+v, want %+v", tc.in, sp, tc.want)
+		}
+	}
+
+	bad := []struct {
+		in      string
+		wantSub string // every error names the offending input
+	}{
+		{"1 / 3", `"1 / 3"`},
+		{"1/ 3", `"1/ 3"`},
+		{" 1 /3", `" 1 /3"`},
+		{"+1/3", `"+1/3"`},
+		{"1/+3", `"1/+3"`},
+		{"-0/3", `"-0/3"`},
+		{"1/", `"1/"`},
+		{"/3", `"/3"`},
+		{"/", `"/"`},
+		{"one/three", `"one/three"`},
+		{"1/3/5", `"1/3/5"`},
+		{"5/3", `"5/3"`},
+		{"3/3", `"3/3"`},
+		{"0/0", `"0/0"`},
+		{"99999999999999999999/3", `"99999999999999999999/3"`},
+	}
+	for _, tc := range bad {
+		_, err := ParseShardSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseShardSpec(%q) accepted a malformed spec", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseShardSpec(%q) error %q does not name the input %s", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+// TestShardSpecValidateNamesSpec checks Validate errors identify the
+// spec they reject, not just the bad field.
+func TestShardSpecValidateNamesSpec(t *testing.T) {
+	cases := []struct {
+		sp      ShardSpec
+		wantSub string
+	}{
+		{ShardSpec{Index: 5, Count: 3}, "5/3"},
+		{ShardSpec{Index: -1, Count: 3}, "-1/3"},
+		{ShardSpec{Index: 1, Count: 0}, "1/0"},
+		{ShardSpec{Index: 0, Count: -2}, "0/-2"},
+	}
+	for _, tc := range cases {
+		err := tc.sp.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid spec", tc.sp)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Validate(%+v) error %q does not name the spec %q", tc.sp, err, tc.wantSub)
+		}
+	}
+	for _, ok := range []ShardSpec{{}, {Index: 0, Count: 1}, {Index: 2, Count: 3}} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", ok, err)
+		}
 	}
 }

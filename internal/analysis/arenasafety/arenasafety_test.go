@@ -1,0 +1,12 @@
+package arenasafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/arenasafety"
+	"repro/internal/analysis/atest"
+)
+
+func TestArenaSafety(t *testing.T) {
+	atest.Run(t, "testdata", arenasafety.Analyzer, "fix/arenause")
+}

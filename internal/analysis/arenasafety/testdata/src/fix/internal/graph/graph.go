@@ -1,0 +1,26 @@
+// Package graph is a fixture stub matched by the arenasafety analyzer
+// through its (package-path suffix, name) pairs; only the signatures
+// matter.
+package graph
+
+type Graph struct{}
+
+type Ref struct{}
+
+type Ext struct{}
+
+type Arena struct{}
+
+func AcquireRef(g *Graph) *Ref { return &Ref{} }
+
+func AcquireRefNoCK(g *Graph) *Ref { return &Ref{} }
+
+func (r *Ref) Release() {}
+
+func (r *Ref) OwnerAction() int { return 0 }
+
+func (g *Graph) CloneExtendedIn(a *Arena) *Ext { return &Ext{} }
+
+func (a *Arena) New() *Ext { return &Ext{} }
+
+func (e *Ext) Detach() *Ext { return e }

@@ -1,0 +1,19 @@
+// Package model is a fixture stub for the scratch-buffer half of the
+// arenasafety contract surface.
+package model
+
+type Exchange struct{}
+
+type State struct{}
+
+func (x *Exchange) AcquireScratch() *State { return &State{} }
+
+func (x *Exchange) ReleaseScratch(s *State) {}
+
+func (x *Exchange) UpdateScratch() *State { return &State{} }
+
+func (s *State) DetachState() *State { return s }
+
+func (s *State) Len() int { return 0 }
+
+func DetachAll(ss []*State) {}

@@ -1,0 +1,352 @@
+// Package atest is a self-contained analysistest replacement: it runs
+// a go/analysis analyzer over fixture packages laid out analysistest
+// style (testdata/src/<importpath>/*.go) and checks the diagnostics
+// against // want "regexp" comments in the fixtures.
+//
+// The container this repo builds in has no module proxy access, and
+// the Go toolchain vendors go/analysis but not analysistest or
+// go/packages — so atest loads fixtures with go/parser and go/types
+// directly: fixture imports resolve against sibling fixture packages
+// first and fall back to compiling the standard library from GOROOT
+// source. Analyzer dependencies (Requires) are run transitively, in
+// topological order, with their results threaded through ResultOf.
+// Facts are not supported; the ebavet analyzers do not use them.
+//
+// A // want comment attaches to the line it appears on and holds one
+// or more Go-quoted regular expressions, each of which must match a
+// distinct diagnostic reported on that line:
+//
+//	badCall() // want `exact diagnostic fragment` "another"
+//
+// Diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test with the file:line of the mismatch.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run applies a (and its Requires closure) to each fixture package in
+// pkgPaths, resolving them under testdata/src, and checks diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		diags := runAnalyzer(t, l.fset, a, pkg)
+		check(t, l.fset, pkg, diags)
+	}
+}
+
+// --- fixture loading ------------------------------------------------------
+
+type loadedPkg struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*loadedPkg
+	stdlib  types.Importer
+	loading map[string]bool
+}
+
+func newLoader(root string) *loader {
+	l := &loader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*loadedPkg{},
+		loading: map[string]bool{},
+	}
+	// "source" compiles stdlib dependencies from GOROOT source: no
+	// export data or network is needed.
+	l.stdlib = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import lets the loader serve as the types.Importer for fixture
+// type-checking: fixture trees shadow the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+func isDir(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &loadedPkg{path: path, pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// --- analyzer execution ---------------------------------------------------
+
+// factStore is a minimal in-memory fact table shared by the analyzers
+// of one package run. Facts exported by a dependency (ctrlflow's
+// noReturn) are visible to importers in the same run; facts from other
+// packages are simply absent, which every fact-using analyzer must
+// treat conservatively anyway.
+type factStore struct {
+	object map[types.Object]map[reflect.Type]analysis.Fact
+	pkg    map[*types.Package]map[reflect.Type]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object: map[types.Object]map[reflect.Type]analysis.Fact{},
+		pkg:    map[*types.Package]map[reflect.Type]analysis.Fact{},
+	}
+}
+
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+// runAnalyzer runs a and its Requires closure over pkg, returning only
+// a's own diagnostics.
+func runAnalyzer(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *loadedPkg) []analysis.Diagnostic {
+	t.Helper()
+	results := map[*analysis.Analyzer]interface{}{}
+	facts := newFactStore()
+	var diags []analysis.Diagnostic
+
+	var run func(an *analysis.Analyzer) interface{}
+	run = func(an *analysis.Analyzer) interface{} {
+		if r, ok := results[an]; ok {
+			return r
+		}
+		deps := map[*analysis.Analyzer]interface{}{}
+		for _, req := range an.Requires {
+			deps[req] = run(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      pkg.files,
+			Pkg:        pkg.pkg,
+			TypesInfo:  pkg.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   deps,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				if f, ok := facts.object[obj][reflect.TypeOf(fact)]; ok {
+					copyFact(fact, f)
+					return true
+				}
+				return false
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				if facts.object[obj] == nil {
+					facts.object[obj] = map[reflect.Type]analysis.Fact{}
+				}
+				facts.object[obj][reflect.TypeOf(fact)] = fact
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				if f, ok := facts.pkg[p][reflect.TypeOf(fact)]; ok {
+					copyFact(fact, f)
+					return true
+				}
+				return false
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				if facts.pkg[pkg.pkg] == nil {
+					facts.pkg[pkg.pkg] = map[reflect.Type]analysis.Fact{}
+				}
+				facts.pkg[pkg.pkg][reflect.TypeOf(fact)] = fact
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				var out []analysis.ObjectFact
+				for obj, m := range facts.object {
+					for _, f := range m {
+						out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+					}
+				}
+				return out
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				var out []analysis.PackageFact
+				for p, m := range facts.pkg {
+					for _, f := range m {
+						out = append(out, analysis.PackageFact{Package: p, Fact: f})
+					}
+				}
+				return out
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s failed on %s: %v", an.Name, pkg.path, err)
+		}
+		results[an] = res
+		return res
+	}
+	run(a)
+	return diags
+}
+
+// --- want expectations ----------------------------------------------------
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the payload of a want comment: a space-separated
+// sequence of Go-quoted ("...") or backquoted (`...`) strings.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want payload at %q (expected quoted regexp)", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want regexp in %q", pos, s)
+		}
+		tok := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(tok)
+			if err != nil {
+				t.Fatalf("%s: bad want string %q: %v", pos, tok, err)
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, tok[1:len(tok)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+// Package ctxcause enforces the cancellation-cause contract of the
+// streaming runner and the fabric: the packages that establish
+// cancellation with context.WithCancelCause promise their callers a
+// meaningful cause — a scenario's first error, a lost lease, a
+// verification failure — never a bare context.Canceled.
+//
+// In any package that calls context.WithCancelCause, two rules:
+//
+//  1. ctx.Err() must not escape as a value. Using ctx.Err() to test
+//     doneness (comparison against nil, directly or through a local
+//     variable that is only nil-compared) is fine; returning it,
+//     passing it to a call, wrapping it, or storing it loses the cause
+//     that WithCancelCause was set up to carry — use
+//     context.Cause(ctx) instead.
+//
+//  2. Every CancelCauseFunc must be used on all control-flow paths
+//     from its definition to the function's return (the lostcancel
+//     discipline, applied to the cause-carrying variant): an unused
+//     path leaks the context and silently drops the cause. Assigning
+//     the cancel function to the blank identifier is reported
+//     outright.
+//
+// A reviewed exception is waived with //eba:ctxcause-ok on the exact
+// reported line; unused waivers are themselves diagnosed as stale.
+package ctxcause
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"repro/internal/analysis/ebautil"
+	"repro/internal/analysis/suppress"
+)
+
+// Analyzer is the ctxcause analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcause",
+	Doc: "in packages establishing context.WithCancelCause: require context.Cause(ctx) " +
+		"over escaping ctx.Err() values, and require every CancelCauseFunc to be used " +
+		"on all paths (suppress a reviewed line with //eba:ctxcause-ok)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// reporter is the suppression-aware Reportf the checks go through.
+type reporter struct {
+	pass *analysis.Pass
+	sup  *suppress.Set
+}
+
+func (r reporter) reportf(pos token.Pos, format string, args ...interface{}) {
+	if r.sup.Suppressed(r.pass.Fset, pos) {
+		return
+	}
+	r.pass.Reportf(pos, format, args...)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// The rules bind only where the package itself establishes
+	// cause-carrying cancellation.
+	establishes := false
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if isWithCancelCause(pass.TypesInfo, n.(*ast.CallExpr)) {
+			establishes = true
+		}
+	})
+	if !establishes {
+		return nil, nil
+	}
+	rep := reporter{pass: pass, sup: suppress.Collect(pass, "ctxcause")}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		checkErrEscapes(rep, n)
+		checkCancelAllPaths(rep, n)
+	})
+	rep.sup.ReportStale(pass)
+	return nil, nil
+}
+
+func isWithCancelCause(info *types.Info, call *ast.CallExpr) bool {
+	fn := ebautil.FuncObj(info, call)
+	return fn != nil && fn.Name() == "WithCancelCause" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// isCtxErrCall reports whether e is a call of the Err method on a
+// context.Context value.
+func isCtxErrCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Err" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && ebautil.IsContextType(t)
+}
+
+// --- rule 1: ctx.Err() must not escape as a value -------------------------
+
+func checkErrEscapes(rep reporter, fn ast.Node) {
+	info := rep.pass.TypesInfo
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+
+	// Walk with parents so each ctx.Err() call is judged by its use.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 1 {
+			return false // nested functions get their own visit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isCtxErrCall(info, call) {
+			return true
+		}
+		judgeErrUse(rep, info, body, stack, call)
+		return true
+	})
+}
+
+func judgeErrUse(rep reporter, info *types.Info, body *ast.BlockStmt, stack []ast.Node, call *ast.CallExpr) {
+	// Find the nearest relevant ancestor, skipping parens.
+	var parent ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		// Only comparison against nil is a doneness test.
+		other := p.X
+		if ast.Unparen(p.X) == ast.Unparen(call) {
+			other = p.Y
+		}
+		if (p.Op.String() == "==" || p.Op.String() == "!=") && ebautil.IsNil(info, other) {
+			return
+		}
+	case *ast.ExprStmt:
+		return // value discarded
+	case *ast.AssignStmt:
+		// err := ctx.Err() — fine as long as err itself is only
+		// nil-compared; any value use of err escapes the bare error.
+		if len(p.Lhs) == 1 && len(p.Rhs) == 1 && ast.Unparen(p.Rhs[0]) == ast.Unparen(call) {
+			if id, ok := ast.Unparen(p.Lhs[0]).(*ast.Ident); ok {
+				if id.Name == "_" {
+					return
+				}
+				v, _ := info.Defs[id].(*types.Var)
+				if v == nil {
+					v, _ = info.Uses[id].(*types.Var)
+				}
+				if v != nil && !errVarEscapes(info, body, v, p) {
+					return
+				}
+			}
+		}
+	}
+	rep.reportf(call.Pos(), "ctx.Err() escapes as a value in a package that establishes context.WithCancelCause: it reports bare context.Canceled and loses the cause — use context.Cause(ctx)")
+}
+
+// errVarEscapes reports whether v (bound from ctx.Err() at def) is
+// used as anything but a nil comparison.
+func errVarEscapes(info *types.Info, body *ast.BlockStmt, v *types.Var, def ast.Node) bool {
+	esc := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if esc {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != v {
+			return true
+		}
+		// Judge this use by its parent.
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.ParenExpr:
+				continue
+			case *ast.BinaryExpr:
+				other := p.X
+				if ast.Unparen(p.X) == id {
+					other = p.Y
+				}
+				if (p.Op.String() == "==" || p.Op.String() == "!=") && ebautil.IsNil(info, other) {
+					return true
+				}
+			}
+			break
+		}
+		esc = true
+		return false
+	})
+	return esc
+}
+
+// --- rule 2: CancelCauseFunc used on all paths ----------------------------
+//
+// This is the lostcancel algorithm (x/tools/go/analysis/passes/lostcancel)
+// specialized to context.WithCancelCause: find the statement defining the
+// cancel variable, then search the control-flow graph for a path from
+// that statement to a return that never mentions the variable.
+
+func checkCancelAllPaths(rep reporter, node ast.Node) {
+	pass := rep.pass
+	info := pass.TypesInfo
+
+	var funcScope *types.Scope
+	switch v := node.(type) {
+	case *ast.FuncLit:
+		funcScope = info.Scopes[v.Type]
+	case *ast.FuncDecl:
+		funcScope = info.Scopes[v.Type]
+	}
+	if funcScope == nil {
+		return
+	}
+
+	// Map each cancel variable to its defining statement.
+	cancelVars := map[*types.Var]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			if len(stack) > 0 {
+				return false // nested functions get their own visit
+			}
+		case nil:
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isWithCancelCause(info, call) || len(stack) < 2 {
+			return true
+		}
+		var id *ast.Ident
+		var stmt ast.Node
+		switch s := stack[len(stack)-2].(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == 2 {
+				id, _ = s.Lhs[1].(*ast.Ident)
+				stmt = s
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == 2 {
+				id = s.Names[1]
+				stmt = s
+			}
+		}
+		if id == nil {
+			return true
+		}
+		if id.Name == "_" {
+			rep.reportf(id.Pos(), "the CancelCauseFunc returned by context.WithCancelCause is discarded: the context leaks and no cause can ever be recorded")
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if funcScope.Contains(v.Pos()) {
+				cancelVars[v] = stmt
+			}
+		} else if v, ok := info.Defs[id].(*types.Var); ok {
+			cancelVars[v] = stmt
+		}
+		return true
+	})
+	if len(cancelVars) == 0 {
+		return
+	}
+
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	var g *cfg.CFG
+	var sig *types.Signature
+	switch node := node.(type) {
+	case *ast.FuncDecl:
+		sig, _ = info.Defs[node.Name].Type().(*types.Signature)
+		if node.Name.Name == "main" && sig != nil && sig.Recv() == nil && pass.Pkg.Name() == "main" {
+			return // returning from main.main terminates the process
+		}
+		g = cfgs.FuncDecl(node)
+	case *ast.FuncLit:
+		sig, _ = info.Types[node.Type].Type.(*types.Signature)
+		g = cfgs.FuncLit(node)
+	}
+	if sig == nil || g == nil {
+		return
+	}
+
+	for v, stmt := range cancelVars {
+		if ret := lostPath(info, g, v, stmt, sig); ret != nil {
+			rep.reportf(stmt.Pos(), "the CancelCauseFunc %q is not used on all paths: a return can be reached without cancelling, leaking the context and dropping its cause", v.Name())
+		}
+	}
+}
+
+// lostPath finds a CFG path from the statement defining v to a return
+// that never mentions v, returning that return statement (possibly
+// synthetic) or nil.
+func lostPath(info *types.Info, g *cfg.CFG, v *types.Var, stmt ast.Node, sig *types.Signature) *ast.ReturnStmt {
+	vIsNamedResult := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if sig.Results().At(i) == v {
+			vIsNamedResult = true
+		}
+	}
+	uses := func(nodes []ast.Node) bool {
+		for _, n := range nodes {
+			found := false
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if info.Uses[n] == v {
+						found = true
+					}
+				case *ast.ReturnStmt:
+					if n.Results == nil && vIsNamedResult {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+
+	var defblock *cfg.Block
+	var rest []ast.Node
+outer:
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == stmt {
+				defblock = b
+				rest = b.Nodes[i+1:]
+				break outer
+			}
+		}
+	}
+	if defblock == nil {
+		return nil // defining statement not in the CFG (dead code)
+	}
+	if uses(rest) {
+		return nil
+	}
+	if ret := defblock.Return(); ret != nil {
+		return ret
+	}
+
+	memo := map[*cfg.Block]bool{}
+	blockUses := func(b *cfg.Block) bool {
+		r, ok := memo[b]
+		if !ok {
+			r = uses(b.Nodes)
+			memo[b] = r
+		}
+		return r
+	}
+	seen := map[*cfg.Block]bool{}
+	var search func(blocks []*cfg.Block) *ast.ReturnStmt
+	search = func(blocks []*cfg.Block) *ast.ReturnStmt {
+		for _, b := range blocks {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			if blockUses(b) {
+				continue
+			}
+			if ret := b.Return(); ret != nil {
+				return ret
+			}
+			if ret := search(b.Succs); ret != nil {
+				return ret
+			}
+		}
+		return nil
+	}
+	return search(defblock.Succs)
+}

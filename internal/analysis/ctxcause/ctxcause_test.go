@@ -1,0 +1,12 @@
+package ctxcause_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/ctxcause"
+)
+
+func TestCtxCause(t *testing.T) {
+	atest.Run(t, "testdata", ctxcause.Analyzer, "fix/ctxflow")
+}

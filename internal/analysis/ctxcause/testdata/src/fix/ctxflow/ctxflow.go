@@ -1,0 +1,77 @@
+// Package ctxflow establishes context.WithCancelCause, which arms both
+// ctxcause rules for the whole package.
+package ctxflow
+
+import (
+	"context"
+	"errors"
+)
+
+func escapesErr(ctx context.Context) error {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	<-ctx2.Done()
+	return ctx2.Err() // want `ctx.Err\(\) escapes as a value in a package that establishes context.WithCancelCause`
+}
+
+func escapesViaLocal(ctx context.Context) error {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	err := ctx2.Err() // want `ctx.Err\(\) escapes as a value in a package that establishes context.WithCancelCause`
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func lostCancel(ctx context.Context, fail bool) error {
+	ctx2, cancel := context.WithCancelCause(ctx) // want `the CancelCauseFunc "cancel" is not used on all paths`
+	if fail {
+		cancel(errors.New("failed"))
+		return errors.New("failed")
+	}
+	_ = ctx2
+	return nil
+}
+
+func discardCancel(ctx context.Context) context.Context {
+	ctx2, _ := context.WithCancelCause(ctx) // want `the CancelCauseFunc returned by context.WithCancelCause is discarded`
+	return ctx2
+}
+
+func doneTest(ctx context.Context) bool {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	return ctx2.Err() != nil
+}
+
+func causeReturn(ctx context.Context) error {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	<-ctx2.Done()
+	return context.Cause(ctx2)
+}
+
+func localNilCheck(ctx context.Context) string {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	err := ctx2.Err()
+	if err != nil {
+		return "done"
+	}
+	return "live"
+}
+
+func suppressedEscape(ctx context.Context) error {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	<-ctx2.Done()
+	return ctx2.Err() //eba:ctxcause-ok: this API documents bare context.Canceled
+}
+
+func staleWaiver(ctx context.Context) error {
+	ctx2, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	<-ctx2.Done()
+	return context.Cause(ctx2) //eba:ctxcause-ok // want `stale //eba:ctxcause-ok suppression: no diagnostic on this line to suppress`
+}

@@ -1,0 +1,69 @@
+package det
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func leakOrder(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// hash.Hash's Write is the embedded io.Writer's Write, so it reports
+// under the io.Writer description.
+func hashOrder(m map[string]string) []byte {
+	h := sha256.New()
+	for k := range m { // want `map iteration order reaches an io.Writer write`
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}
+
+func digestOrder(m map[string]string) []byte {
+	h := sha256.New()
+	var sum []byte
+	for k := range m { // want `map iteration order reaches a hash write`
+		sum = h.Sum([]byte(k))
+	}
+	return sum
+}
+
+func encodeOrder(enc *json.Encoder, m map[int][]string) {
+	for _, vs := range m { // want `map iteration order reaches json.Encoder.Encode`
+		enc.Encode(vs)
+	}
+}
+
+func sortedOrder(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// json.Marshal of a whole map is fine: encoding/json sorts map keys.
+func marshalWhole(m map[string]int) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+func suppressedOrder(w io.Writer, m map[string]int) {
+	for k := range m { //eba:nondeterministic-ok: singleton map, reviewed
+		fmt.Fprintln(w, k)
+	}
+}
+
+func wrongLine(w io.Writer, m map[string]int) {
+	//eba:nondeterministic-ok: on the wrong line, so it waives nothing // want `stale //eba:nondeterministic-ok suppression: no diagnostic on this line to suppress`
+	for k := range m { // want `map iteration order reaches fmt.Fprintln`
+		fmt.Fprintln(w, k)
+	}
+}

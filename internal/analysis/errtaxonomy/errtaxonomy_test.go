@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	atest.Run(t, "testdata", errtaxonomy.Analyzer, "fix/taxo", "fix/cmd/ebafix")
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"fix/errs"
+)
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, errs.ErrVerification) {
+		return 2
+	}
+	if fmt.Sprint(err) == "transport torn down" {
+		return 3 // want `exit code 3 is returned without an errors.Is sentinel guard`
+	}
+	return 1
+}
+
+func main() {
+	os.Exit(exitCode(errors.New("boom")))
+}

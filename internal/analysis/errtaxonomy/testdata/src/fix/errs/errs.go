@@ -1,0 +1,10 @@
+// Package errs is the fixture's stand-in for the repo's error
+// taxonomy: package-level Err* sentinels.
+package errs
+
+import "errors"
+
+var (
+	ErrVerification = errors.New("verification failed")
+	ErrTransport    = errors.New("transport failed")
+)

@@ -1,0 +1,49 @@
+package taxo
+
+import (
+	"errors"
+	"fmt"
+
+	"fix/errs"
+)
+
+func compareEq(err error) bool {
+	return err == errs.ErrVerification // want `comparing an error against sentinel ErrVerification with == breaks once the sentinel is wrapped: use errors.Is`
+}
+
+func compareNeq(err error) bool {
+	return err != errs.ErrTransport // want `comparing an error against sentinel ErrTransport with != breaks once the sentinel is wrapped: use errors.Is`
+}
+
+func viaSwitch(err error) int {
+	switch err {
+	case errs.ErrVerification: // want `switching on an error value compares sentinel ErrVerification with ==`
+		return 2
+	default:
+		return 1
+	}
+}
+
+func wrapWrong(err error) error {
+	return fmt.Errorf("check failed: %v", errs.ErrVerification) // want `sentinel ErrVerification is formatted with %v, which drops its errors.Is identity`
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, errs.ErrVerification)
+}
+
+func wrapRight() error {
+	return fmt.Errorf("check failed: %w", errs.ErrTransport)
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func suppressedCompare(err error) bool {
+	return err == errs.ErrTransport //eba:errtaxonomy-ok: identity check against this exact instance is intended
+}
+
+func staleWaiver(err error) bool {
+	return errors.Is(err, errs.ErrVerification) //eba:errtaxonomy-ok // want `stale //eba:errtaxonomy-ok suppression: no diagnostic on this line to suppress`
+}

@@ -1,0 +1,55 @@
+package suite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzersHaveContracts(t *testing.T) {
+	for _, a := range Analyzers() {
+		if _, ok := Contracts[a.Name]; !ok {
+			t.Errorf("analyzer %s has no one-line contract in Contracts", a.Name)
+		}
+	}
+	if len(Contracts) != len(Analyzers()) {
+		t.Errorf("Contracts has %d entries, Analyzers has %d", len(Contracts), len(Analyzers()))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(nil) = %d analyzers, err %v; want %d, nil", len(all), err, len(Analyzers()))
+	}
+
+	some, err := Select([]string{"determinism"})
+	if err != nil {
+		t.Fatalf("Select(determinism): %v", err)
+	}
+	for _, a := range some {
+		if a.Name == "determinism" {
+			t.Errorf("disabled analyzer %s still selected", a.Name)
+		}
+	}
+	if len(some) != len(all)-1 {
+		t.Errorf("Select dropped %d analyzers, want 1", len(all)-len(some))
+	}
+
+	if _, err := Select([]string{"nosuchanalyzer"}); err == nil {
+		t.Error("Select with an unknown name should error")
+	}
+	if _, err := Select(Names()); err == nil {
+		t.Error("Select disabling every analyzer should error")
+	}
+}
+
+func TestListMentionsEveryAnalyzer(t *testing.T) {
+	var sb strings.Builder
+	List(&sb)
+	out := sb.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("List output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -358,7 +359,7 @@ func (or *OutcomeReader) Next() (*OutcomeRecord, error) {
 	}
 	var raw json.RawMessage
 	if err := or.dec.Decode(&raw); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("core: shard %d/%d: stream truncated after %d records (no footer)",
 				or.header.Shard, or.header.Shards, or.records)
 		}
@@ -419,7 +420,7 @@ func VerifyOutcomeStream(r io.Reader) (*ShardSummary, error) {
 		return nil, err
 	}
 	for {
-		if _, err := or.Next(); err == io.EOF {
+		if _, err := or.Next(); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, err
@@ -550,7 +551,7 @@ func MergeOutcomes(w io.Writer, streams ...io.Reader) (*MergeSummary, error) {
 	for {
 		or := byShard[int(ord%int64(k))]
 		rec, err := or.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			// This stripe is exhausted at ordinal ord, fixing the sweep's
 			// total; every other stripe must be exhausted too, or it holds
 			// a record the canonical order has no slot for.
@@ -558,7 +559,7 @@ func MergeOutcomes(w io.Writer, streams ...io.Reader) (*MergeSummary, error) {
 				if byShard[j] == or {
 					continue
 				}
-				if extra, jerr := byShard[j].Next(); jerr != io.EOF {
+				if extra, jerr := byShard[j].Next(); !errors.Is(jerr, io.EOF) {
 					if jerr != nil {
 						return nil, jerr
 					}

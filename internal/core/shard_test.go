@@ -135,7 +135,7 @@ func TestShardStreamRoundTrip(t *testing.T) {
 	var got int64
 	for {
 		rec, err := or.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -395,7 +395,7 @@ func TestWriteOutcomeStreamReseals(t *testing.T) {
 	var recs []OutcomeRecord
 	for {
 		rec, err := or.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

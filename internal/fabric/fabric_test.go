@@ -415,7 +415,7 @@ func TestDuplicateAndConflictingUploads(t *testing.T) {
 	var recs []core.OutcomeRecord
 	for {
 		rec, err := or.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -1,0 +1,48 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseShardSpec drives the "i/k" parser with arbitrary inputs and
+// pins its contract: anything accepted is a valid stripe that
+// round-trips through String, and anything rejected names the
+// offending input verbatim.
+func FuzzParseShardSpec(f *testing.F) {
+	for _, seed := range []string{
+		// Accepted forms, including the padding environment variables
+		// pick up.
+		"", "0/1", "1/3", "2/3", " 1/3 ", "\t0/8\n", "007/100",
+		// Rejected forms: out-of-range, malformed, signed, inner
+		// whitespace, overflow, non-ASCII digits.
+		"3/3", "0/0", "1/0", "a/b", "1/3/5", "/3", "1/", "/",
+		"+1/3", "-1/3", "1 / 3", "1/ 3", "99999999999999999999/3",
+		"0x1/3", "1.5/3", "１/３",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseShardSpec(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), fmt.Sprintf("%q", s)) {
+				t.Fatalf("ParseShardSpec(%q) error does not name the input: %v", s, err)
+			}
+			return
+		}
+		if verr := sp.Validate(); verr != nil {
+			t.Fatalf("ParseShardSpec(%q) accepted an invalid spec %+v: %v", s, sp, verr)
+		}
+		if sp.Count < 1 || sp.Index < 0 || sp.Index >= sp.Count {
+			t.Fatalf("ParseShardSpec(%q) = %+v, outside its own bounds", s, sp)
+		}
+		again, err := ParseShardSpec(sp.String())
+		if err != nil {
+			t.Fatalf("ParseShardSpec(%q).String() = %q does not re-parse: %v", s, sp.String(), err)
+		}
+		if again != sp {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", s, sp, sp.String(), again)
+		}
+	})
+}

@@ -361,7 +361,7 @@ func BenchmarkGraphMergeAndKey(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st := res.States[tf+1][tf].(exchange.FIPState)
+	st := res.States[tf+1][tf].(*exchange.FIPState)
 	g := st.Graph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -379,7 +379,7 @@ func BenchmarkRefOwnerAction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st := res.States[2][tf].(exchange.FIPState)
+	st := res.States[2][tf].(*exchange.FIPState)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := graph.NewRef(tf, st.Graph())

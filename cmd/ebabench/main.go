@@ -9,7 +9,8 @@
 //
 // With -bench-episteme it instead measures the model checker's reference
 // workloads (BuildSystem + CheckImplements on γ_fip at n=3,t=1 and
-// n=4,t=1) and writes the perf-trajectory record — including the
+// n=4,t=1, plus the symmetry-quotiented n=4,t=1 and exhaustive n=5,t=1
+// builds) and writes the perf-trajectory record — including the
 // pre-sharding baseline — to the given JSON file.
 //
 // With -bench-engine it measures the execution engine's reference
@@ -197,6 +198,10 @@ func benchEpisteme(path string, parallel, reps int) error {
 			return fmt.Errorf("%s: %d mismatches — Theorem A.21 should machine-check", e.Name, e.Mismatches)
 		}
 		line := fmt.Sprintf("  %s: runs=%d build=%.4fs check=%.4fs", e.Name, e.Runs, e.BuildSeconds, e.CheckImplementsSeconds)
+		if e.Quotient && e.RepRuns > 0 {
+			line += fmt.Sprintf("  (quotient: %d representatives executed, %.1fx fewer)",
+				e.RepRuns, float64(e.Runs)/float64(e.RepRuns))
+		}
 		if base, ok := bench.Baseline[e.Name]; ok {
 			now := e.BuildSeconds + e.CheckImplementsSeconds
 			was := base.BuildSeconds + base.CheckImplementsSeconds

@@ -55,6 +55,7 @@ func run(args []string) error {
 		format     = fs.String("format", "summary", "output: summary, trace (message-level), or json")
 		sweepN     = fs.Int64("sweep", 0, "stream this many seeded random scenarios through the Runner instead of one configured run")
 		order      = fs.String("order", "ordered", "sweep emission order: ordered (scenario order) or completion (as workers finish)")
+		quotient   = fs.Bool("quotient", false, "run the canonical representative of the configured scenario's agent-permutation orbit instead of the scenario itself")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,12 +82,12 @@ func run(args []string) error {
 		var incompatible []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "adversary", "inits", "format":
+			case "adversary", "inits", "format", "quotient":
 				incompatible = append(incompatible, "-"+f.Name)
 			}
 		})
 		if len(incompatible) > 0 {
-			return fmt.Errorf("%s cannot apply to -sweep (the sweep draws random adversaries and inits and prints a summary)",
+			return fmt.Errorf("%s cannot apply to -sweep (the sweep draws random adversaries and inits and prints a summary; symmetry quotients are for exhaustive sweeps — see ebashard -quotient)",
 				strings.Join(incompatible, ", "))
 		}
 		return runSweep(stack, executor, *sweepN, *seed, *drop, *order)
@@ -98,6 +99,14 @@ func run(args []string) error {
 	inits, err := makeInits(*initsSpec, *n)
 	if err != nil {
 		return err
+	}
+	var orbit int64
+	if *quotient {
+		// Execute the orbit's canonical representative: under an
+		// agent-symmetric stack its run is the configured scenario's with
+		// the agents relabeled, and it is the one the quotiented sweeps
+		// (ebashard -quotient) would have executed.
+		pat, inits, orbit = eba.CanonicalizeScenario(pat, inits)
 	}
 
 	runner := eba.NewRunner(stack, eba.WithExecutor(executor))
@@ -125,7 +134,11 @@ func run(args []string) error {
 
 	fmt.Printf("stack=%s n=%d t=%d horizon=%d executor=%s adversary=%s\n",
 		stack.Name, *n, *t, stack.Horizon(), executor.Name(), pat)
-	fmt.Printf("inits: %s\n\n", renderValues(inits))
+	fmt.Printf("inits: %s\n", renderValues(inits))
+	if *quotient {
+		fmt.Printf("symmetry: canonical representative, orbit size %d\n", orbit)
+	}
+	fmt.Println()
 	for m := 0; m < res.Horizon; m++ {
 		var acts []string
 		for i := 0; i < res.N; i++ {

@@ -29,6 +29,13 @@
 // so sharded and unsharded checker outputs can be diffed directly.
 // -shard defaults to $EBA_SHARD when set ("i/k"), else to 0/1.
 //
+// -quotient reduces either mode's enumeration to one representative per
+// agent-permutation orbit (up to n! fewer executions): sweep-mode
+// outcome records carry their orbit size as a multiplicity, and
+// quotiented checker indexes are expanded back to the full system at
+// -check -merge time, so the verdict lines still diff clean against an
+// unquotiented run's.
+//
 // Fleet mode: -worker joins a cross-machine fabric instead of running a
 // fixed -shard stripe. The worker pulls stripe leases from the ebacoord
 // coordinator at the given URL, runs them through the same paths as
@@ -91,6 +98,7 @@ func run(args []string) error {
 		spec       = fs.Bool("spec", true, "sweep mode: spec-check every run (a violation aborts the shard)")
 		safety     = fs.Bool("safety", false, "-check -merge: also check the Definition 6.2 safety condition")
 		optimality = fs.Bool("optimality", true, "-check -merge: for fip, check the Theorem 7.5 characterization")
+		quotient   = fs.Bool("quotient", false, "enumerate one representative per agent-permutation orbit (weighting outcomes by orbit size; -check -merge expands automatically)")
 		worker     = fs.String("worker", "", "join the fabric coordinator at this URL as a worker")
 		workerID   = fs.String("id", "", "worker identity reported to the coordinator (default hostname-pid)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "worker mode: per-request timeout on every network call")
@@ -116,9 +124,9 @@ func run(args []string) error {
 	case *merge:
 		return mergeStreams(fs.Args(), *out)
 	case *check:
-		return buildIndex(*stackName, *n, *t, shard, *out, *parallel)
+		return buildIndex(*stackName, *n, *t, shard, *out, *parallel, *quotient)
 	default:
-		return runStripe(*stackName, *n, *t, shard, *out, *parallel, *spec)
+		return runStripe(*stackName, *n, *t, shard, *out, *parallel, *spec, *quotient)
 	}
 }
 
@@ -169,8 +177,11 @@ func openOut(path string) (io.Writer, func() error, error) {
 }
 
 // runStripe executes one stripe of the stack's exhaustive SO(t) sweep
-// and writes its outcome stream.
-func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, spec bool) error {
+// and writes its outcome stream. With quotient, the sweep is reduced to
+// one representative per agent-permutation orbit BEFORE striding, so the
+// stripes partition the representative enumeration and each outcome
+// record carries its orbit size as a multiplicity.
+func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, spec, quotient bool) error {
 	if err := shard.Validate(); err != nil {
 		return err
 	}
@@ -181,6 +192,9 @@ func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, para
 	src, err := eba.SourceSO(n, t, stack.Horizon())
 	if err != nil {
 		return err
+	}
+	if quotient {
+		src = eba.SourceQuotient(src)
 	}
 	opts := []eba.RunnerOption{eba.WithParallelism(parallel), eba.WithBufferReuse()}
 	if spec {
@@ -196,6 +210,11 @@ func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, para
 	}
 	if err != nil {
 		return err
+	}
+	if sum.Weighted != sum.Records {
+		fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs standing for %d, digest %s\n",
+			shard.String(), stack.Name, n, t, sum.Records, sum.Weighted, sum.Digest)
+		return nil
 	}
 	fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs, digest %s\n",
 		shard.String(), stack.Name, n, t, sum.Records, sum.Digest)
@@ -227,13 +246,20 @@ func mergeStreams(paths []string, out string) error {
 	if err != nil {
 		return err
 	}
+	if sum.Weighted != sum.Total {
+		fmt.Fprintf(os.Stderr, "ebashard: merged %d shards: %d runs standing for %d, digest %s\n",
+			sum.Shards, sum.Total, sum.Weighted, sum.Digest)
+		return nil
+	}
 	fmt.Fprintf(os.Stderr, "ebashard: merged %d shards: %d runs, digest %s\n", sum.Shards, sum.Total, sum.Digest)
 	return nil
 }
 
 // buildIndex builds one stripe of the model checker's enumeration and
-// writes the partial epistemic index.
-func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int) error {
+// writes the partial epistemic index. With quotient, the stripe holds
+// orbit representatives with their multiplicities; -check -merge expands
+// the merged system back to the full sweep before writing verdicts.
+func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, quotient bool) error {
 	if err := shard.Validate(); err != nil {
 		return err
 	}
@@ -241,8 +267,11 @@ func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, par
 	if err != nil {
 		return err
 	}
-	idx, err := eba.BuildShardIndex(context.Background(), stack, shard.Index, shard.Count,
-		eba.WithCheckParallelism(parallel))
+	opts := []eba.CheckOption{eba.WithCheckParallelism(parallel)}
+	if quotient {
+		opts = append(opts, eba.WithCheckQuotient())
+	}
+	idx, err := eba.BuildShardIndex(context.Background(), stack, shard.Index, shard.Count, opts...)
 	if err != nil {
 		return err
 	}

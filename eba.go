@@ -181,6 +181,17 @@ type CheckOption = episteme.Option
 // path reassembles its output in the canonical enumeration order.
 func WithCheckParallelism(k int) CheckOption { return episteme.WithParallelism(k) }
 
+// WithCheckQuotient makes BuildSystem and BuildShardIndex enumerate only
+// one canonical representative per agent-permutation orbit
+// (SourceQuotient) — up to n! fewer protocol executions. BuildSystem
+// transparently expands the representative system back to the full one,
+// so every verdict is bit-identical to the unquotiented build's;
+// BuildShardIndex exports a quotiented stripe, and the expansion happens
+// once after MergeSystems (ExpandQuotient). The stack's exchange must
+// support key permutation (fip does; min and basic do not) — builds over
+// other exchanges fail rather than mis-intern.
+func WithCheckQuotient() CheckOption { return episteme.WithQuotient() }
+
 // BuildSystem builds the stack's interpreted system by exhaustive
 // enumeration of every failure pattern and initial assignment in the
 // stack's EBA context (small n and t only — the construction is

@@ -112,7 +112,7 @@ func (p *Opt) Name() string { return "Popt" }
 // Act evaluates the program of Proposition 7.9 on the agent's
 // communication graph. It requires a full-information exchange state.
 func (p *Opt) Act(_ model.AgentID, s model.State) model.Action {
-	st, ok := s.(exchange.FIPState)
+	st, ok := s.(*exchange.FIPState)
 	if !ok {
 		panic(fmt.Sprintf("action: Popt needs a FIP exchange state, got %T", s))
 	}
@@ -149,7 +149,7 @@ func (p *OptNoCK) Name() string { return "Popt-nock" }
 
 // Act evaluates the ablated program on the agent's communication graph.
 func (p *OptNoCK) Act(_ model.AgentID, s model.State) model.Action {
-	st, ok := s.(exchange.FIPState)
+	st, ok := s.(*exchange.FIPState)
 	if !ok {
 		panic(fmt.Sprintf("action: Popt-nock needs a FIP exchange state, got %T", s))
 	}

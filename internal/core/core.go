@@ -177,4 +177,17 @@ type Scenario struct {
 	Pattern *model.Pattern
 	// Inits holds the initial preferences.
 	Inits []model.Value
+	// Weight is the number of sweep scenarios this one stands for: 1 for
+	// an ordinary enumeration, the orbit size for the representative of a
+	// symmetry-quotiented sweep (source.Quotient). Zero means 1, so plain
+	// sources need not set it.
+	Weight int64
+}
+
+// EffectiveWeight is Weight with the zero-means-one default applied.
+func (s Scenario) EffectiveWeight() int64 {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
 }

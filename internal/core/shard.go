@@ -159,8 +159,22 @@ type OutcomeRecord struct {
 	Rounds    []int `json:"rounds"`
 	// Stats aggregates the run's message traffic.
 	Stats OutcomeStats `json:"stats"`
+	// Mult is the number of sweep scenarios this record stands for: the
+	// orbit size when the sweep was symmetry-quotiented
+	// (source.Quotient), omitted (meaning 1) otherwise. Aggregators
+	// weight decision tallies and totals by it so quotiented sweeps
+	// report full-sweep counts.
+	Mult int64 `json:"mult,omitempty"`
 	// Digest fingerprints every field above.
 	Digest string `json:"digest"`
+}
+
+// EffectiveMult is Mult with the zero-means-one default applied.
+func (r *OutcomeRecord) EffectiveMult() int64 {
+	if r.Mult <= 0 {
+		return 1
+	}
+	return r.Mult
 }
 
 // ShardFooter seals a stream: how many records it carries and the chained
@@ -171,8 +185,9 @@ type ShardFooter struct {
 	Digest  string `json:"digest"`
 }
 
-// newOutcomeRecord builds the record of one completed run.
-func newOutcomeRecord(ordinal int64, res *engine.Result) (OutcomeRecord, error) {
+// newOutcomeRecord builds the record of one completed run standing for
+// weight sweep scenarios (weight ≤ 1 records an ordinary run).
+func newOutcomeRecord(ordinal int64, res *engine.Result, weight int64) (OutcomeRecord, error) {
 	pat, err := res.Pattern.MarshalText()
 	if err != nil {
 		return OutcomeRecord{}, fmt.Errorf("core: encoding pattern of ordinal %d: %w", ordinal, err)
@@ -195,6 +210,9 @@ func newOutcomeRecord(ordinal int64, res *engine.Result) (OutcomeRecord, error) 
 		rec.Decisions[i] = int(res.Decision[i])
 		rec.Rounds[i] = res.DecisionRound[i]
 	}
+	if weight > 1 {
+		rec.Mult = weight
+	}
 	rec.Digest = rec.ComputeDigest()
 	return rec, nil
 }
@@ -202,12 +220,17 @@ func newOutcomeRecord(ordinal int64, res *engine.Result) (OutcomeRecord, error) 
 // ComputeDigest fingerprints the record's content (everything but the
 // Digest field itself). It is the stripe-level integrity primitive the
 // cross-machine fabric verifies uploads with: a record is intact exactly
-// when its Digest field equals its ComputeDigest.
+// when its Digest field equals its ComputeDigest. A multiplicity is
+// hashed only when present (> 1), so records of unquotiented sweeps hash
+// exactly as they did before multiplicities existed.
 func (r *OutcomeRecord) ComputeDigest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%d|%s|%v|%v|%v|%d|%d|%d|%d",
 		r.Ordinal, r.Pattern, r.Inits, r.Decisions, r.Rounds,
 		r.Stats.MessagesSent, r.Stats.MessagesDelivered, r.Stats.BitsSent, r.Stats.BitsDelivered)
+	if r.Mult > 1 {
+		fmt.Fprintf(h, "|m%d", r.Mult)
+	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16])
 }
@@ -233,6 +256,10 @@ type ShardSummary struct {
 	Header ShardHeader
 	// Records is the number of scenarios the stripe ran.
 	Records int64
+	// Weighted is the number of sweep scenarios the stripe stands for:
+	// the sum of record multiplicities. Equal to Records unless the
+	// sweep was symmetry-quotiented.
+	Weighted int64
 	// Digest is the chained digest over the stripe's records.
 	Digest string
 }
@@ -275,14 +302,14 @@ func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCoun
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	var chain digestChain
-	var records int64
+	var records, weighted int64
 	for oc := range r.StreamFrom(ctx, stripe) {
 		if oc.Err != nil {
 			cancel(oc.Err)
 			return nil, fmt.Errorf("core: shard %d/%d: %w", shardIndex, shardCount, oc.Err)
 		}
 		ordinal := int64(shardIndex) + int64(oc.Index)*int64(shardCount)
-		rec, err := newOutcomeRecord(ordinal, oc.Result)
+		rec, err := newOutcomeRecord(ordinal, oc.Result, oc.Scenario.EffectiveWeight())
 		if err != nil {
 			cancel(err)
 			return nil, err
@@ -293,6 +320,7 @@ func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCoun
 			return nil, fmt.Errorf("core: shard %d/%d: writing ordinal %d: %w", shardIndex, shardCount, ordinal, err)
 		}
 		records++
+		weighted += rec.EffectiveMult()
 	}
 	if ctx.Err() != nil {
 		return nil, context.Cause(ctx)
@@ -307,7 +335,7 @@ func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCoun
 	if err := bw.Flush(); err != nil {
 		return nil, fmt.Errorf("core: shard %d/%d: flushing stream: %w", shardIndex, shardCount, err)
 	}
-	return &ShardSummary{Header: hdr, Records: records, Digest: foot.Digest}, nil
+	return &ShardSummary{Header: hdr, Records: records, Weighted: weighted, Digest: foot.Digest}, nil
 }
 
 // --- reading: OutcomeReader ----------------------------------------------
@@ -317,11 +345,12 @@ func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCoun
 // returns io.EOF after the footer; a stream that ends without one is
 // reported as truncated (the mark RunShard leaves when it aborts).
 type OutcomeReader struct {
-	dec     *json.Decoder
-	header  ShardHeader
-	chain   digestChain
-	records int64
-	footer  *ShardFooter
+	dec      *json.Decoder
+	header   ShardHeader
+	chain    digestChain
+	records  int64
+	weighted int64
+	footer   *ShardFooter
 }
 
 // NewOutcomeReader reads and validates the stream's header.
@@ -404,6 +433,7 @@ func (or *OutcomeReader) Next() (*OutcomeRecord, error) {
 	}
 	or.chain.add(rec.Digest)
 	or.records++
+	or.weighted += rec.EffectiveMult()
 	return &rec, nil
 }
 
@@ -427,7 +457,7 @@ func VerifyOutcomeStream(r io.Reader) (*ShardSummary, error) {
 		}
 	}
 	foot := or.Footer()
-	return &ShardSummary{Header: or.Header(), Records: foot.Records, Digest: foot.Digest}, nil
+	return &ShardSummary{Header: or.Header(), Records: foot.Records, Weighted: or.weighted, Digest: foot.Digest}, nil
 }
 
 // WriteOutcomeStream re-seals records into a valid outcome stream:
@@ -479,6 +509,10 @@ type MergeSummary struct {
 	Shards int
 	// Total is the merged scenario count.
 	Total int64
+	// Weighted is the number of sweep scenarios the merge stands for:
+	// the sum of record multiplicities across all stripes. Equal to
+	// Total unless the sweep was symmetry-quotiented.
+	Weighted int64
 	// Digest is the chained digest over the merged records in canonical
 	// order — equal to the Digest a single-process (shardCount 1) RunShard
 	// of the same sweep reports.
@@ -547,7 +581,7 @@ func MergeOutcomes(w io.Writer, streams ...io.Reader) (*MergeSummary, error) {
 
 	k := len(byShard)
 	var chain digestChain
-	var ord int64
+	var ord, weighted int64
 	for {
 		or := byShard[int(ord%int64(k))]
 		rec, err := or.Next()
@@ -577,6 +611,7 @@ func MergeOutcomes(w io.Writer, streams ...io.Reader) (*MergeSummary, error) {
 				int(ord%int64(k)), rec.Ordinal, ord)
 		}
 		chain.add(rec.Digest)
+		weighted += rec.EffectiveMult()
 		if enc != nil {
 			if err := enc.Encode(rec); err != nil {
 				return nil, fmt.Errorf("core: writing merged ordinal %d: %w", ord, err)
@@ -588,7 +623,7 @@ func MergeOutcomes(w io.Writer, streams ...io.Reader) (*MergeSummary, error) {
 		return nil, fmt.Errorf("core: merged %d records, headers promised %d", ord, total)
 	}
 
-	sum := &MergeSummary{Shards: k, Total: ord, Digest: chain.hex(), Headers: make([]ShardHeader, k)}
+	sum := &MergeSummary{Shards: k, Total: ord, Weighted: weighted, Digest: chain.hex(), Headers: make([]ShardHeader, k)}
 	for i, or := range byShard {
 		sum.Headers[i] = or.Header()
 	}

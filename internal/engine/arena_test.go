@@ -65,7 +65,7 @@ func arenaScenarios(n, tf, count int, seed int64) []Config {
 // returns how many slots it flipped. Non-graph states expose no shared
 // memory and report 0.
 func scribbleState(st model.State) int {
-	fs, ok := st.(exchange.FIPState)
+	fs, ok := st.(*exchange.FIPState)
 	if !ok {
 		return 0
 	}
@@ -225,7 +225,7 @@ func TestArenaClonesAreIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := res.States[tf+1][0].(exchange.FIPState).Graph()
+	g := res.States[tf+1][0].(*exchange.FIPState).Graph()
 	key := g.Key()
 	if g.Detach() != g {
 		t.Fatal("Detach must return the receiver")

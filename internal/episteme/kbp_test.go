@@ -120,7 +120,7 @@ func TestGraphCommonVMatchesSemanticCommonKnowledge(t *testing.T) {
 	sys.Points(-1, func(p Point) {
 		for i := 0; i < sys.N; i++ {
 			id := model.AgentID(i)
-			st := sys.State(id, p).(exchange.FIPState)
+			st := sys.State(id, p).(*exchange.FIPState)
 			ref := graph.NewRef(sys.T, st.Graph())
 			for _, v := range []model.Value{model.Zero, model.One} {
 				got := ref.CommonV(v, id, p.Time)

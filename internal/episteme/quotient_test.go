@@ -1,0 +1,240 @@
+package episteme
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// compareSystems fails the test unless the two systems are structurally
+// identical: shapes, every run's ledgers, and the full interned index
+// (class ids, member lists, keys, global interning). Field-by-field
+// rather than fingerprint strings so the n=4 comparison (32,784 runs)
+// stays cheap.
+func compareSystems(t *testing.T, label string, got, want *System) {
+	t.Helper()
+	if got.N != want.N || got.T != want.T || got.Horizon != want.Horizon {
+		t.Fatalf("%s: shape (%d,%d,%d), want (%d,%d,%d)", label, got.N, got.T, got.Horizon, want.N, want.T, want.Horizon)
+	}
+	if len(got.Runs) != len(want.Runs) {
+		t.Fatalf("%s: %d runs, want %d", label, len(got.Runs), len(want.Runs))
+	}
+	for r := range got.Runs {
+		g, w := got.Runs[r], want.Runs[r]
+		if g.Pattern.Key() != w.Pattern.Key() {
+			t.Fatalf("%s: run %d patterns differ", label, r)
+		}
+		if fmt.Sprint(g.Inits) != fmt.Sprint(w.Inits) ||
+			fmt.Sprint(g.Decision) != fmt.Sprint(w.Decision) ||
+			fmt.Sprint(g.DecisionRound) != fmt.Sprint(w.DecisionRound) ||
+			fmt.Sprint(g.Actions) != fmt.Sprint(w.Actions) ||
+			g.Stats != w.Stats {
+			t.Fatalf("%s: run %d ledgers differ", label, r)
+		}
+	}
+	if len(got.classKey) != len(want.classKey) {
+		t.Fatalf("%s: %d index slots, want %d", label, len(got.classKey), len(want.classKey))
+	}
+	for slot := range want.classKey {
+		if len(got.classKey[slot]) != len(want.classKey[slot]) {
+			t.Fatalf("%s: slot %d has %d classes, want %d", label, slot, len(got.classKey[slot]), len(want.classKey[slot]))
+		}
+		for c := range want.classKey[slot] {
+			if got.classKey[slot][c] != want.classKey[slot][c] {
+				t.Fatalf("%s: slot %d class %d key differs:\n got %q\nwant %q",
+					label, slot, c, got.classKey[slot][c], want.classKey[slot][c])
+			}
+			if got.classGlobal[slot][c] != want.classGlobal[slot][c] {
+				t.Fatalf("%s: slot %d class %d global id %d, want %d",
+					label, slot, c, got.classGlobal[slot][c], want.classGlobal[slot][c])
+			}
+		}
+		for r := range want.classOf[slot] {
+			if got.classOf[slot][r] != want.classOf[slot][r] {
+				t.Fatalf("%s: slot %d run %d class %d, want %d",
+					label, slot, r, got.classOf[slot][r], want.classOf[slot][r])
+			}
+		}
+		for c := range want.classRuns[slot] {
+			gr, wr := got.classRuns[slot][c], want.classRuns[slot][c]
+			if len(gr) != len(wr) {
+				t.Fatalf("%s: slot %d class %d has %d members, want %d", label, slot, c, len(gr), len(wr))
+			}
+			for k := range wr {
+				if gr[k] != wr[k] {
+					t.Fatalf("%s: slot %d class %d member %d is run %d, want %d", label, slot, c, k, gr[k], wr[k])
+				}
+			}
+		}
+	}
+}
+
+// buildMergedQuotient builds the K quotiented shard indexes, round-trips
+// each through its JSON serialization, merges, and expands.
+func buildMergedQuotient(t *testing.T, c Context, act model.ActionProtocol, k int) *System {
+	t.Helper()
+	shards := make([]*ShardIndex, k)
+	for i := 0; i < k; i++ {
+		idx, err := BuildShardIndex(context.Background(), c, act, i, k, WithParallelism(2), WithQuotient())
+		if err != nil {
+			t.Fatalf("BuildShardIndex %d/%d: %v", i, k, err)
+		}
+		if !idx.Quotient {
+			t.Fatalf("BuildShardIndex %d/%d: WithQuotient produced an unquotiented index", i, k)
+		}
+		var buf bytes.Buffer
+		if err := WriteShardIndex(&buf, idx); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadShardIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Digest() != idx.Digest() {
+			t.Fatalf("shard %d/%d: serialization round-trip changed the digest", i, k)
+		}
+		shards[(i+1)%k] = rt
+	}
+	rep, err := MergeSystems(context.Background(), shards, WithParallelism(2))
+	if err != nil {
+		t.Fatalf("MergeSystems k=%d: %v", k, err)
+	}
+	if !rep.Quotiented() {
+		t.Fatalf("k=%d: merge of quotiented shards is not quotiented", k)
+	}
+	sys, err := ExpandQuotient(context.Background(), rep, c)
+	if err != nil {
+		t.Fatalf("ExpandQuotient k=%d: %v", k, err)
+	}
+	return sys
+}
+
+// TestQuotientSystemBitIdentical is the tentpole acceptance bar for the
+// model checker: at n=3 and n=4 (t=1, fip), the quotiented build —
+// unsharded (BuildSystem WithQuotient) and sharded K ∈ {1,2,3}
+// (BuildShardIndex + MergeSystems + ExpandQuotient) — yields a System
+// whose runs, interned index, and every verdict are bit-identical to the
+// full-sweep BuildSystem's.
+func TestQuotientSystemBitIdentical(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			c := Context{Exchange: exchange.NewFIP(n), T: 1}
+			act := action.NewOpt(1)
+			full, err := BuildSystem(context.Background(), c, act, WithParallelism(2))
+			if err != nil {
+				t.Fatalf("BuildSystem: %v", err)
+			}
+			wantImpl := checkImplements(t, full, P1, 50)
+			wantSafety := checkSafety(t, full, 50)
+			// CheckOptimalityFIP costs ~30s per n=4 system (⊡-reachability
+			// over 32,784 runs); compareSystems below pins the runs and the
+			// full interned index bit-identical, and every checker is a pure
+			// function of those, so running it at n=3 plus the two cheap
+			// checkers at both sizes keeps the differential complete without
+			// the 30s-per-variant bill.
+			checkOpt := n <= 3
+			var wantOpt []string
+			if checkOpt {
+				wantOpt = checkOptimality(t, full, -1, 50)
+			}
+
+			systems := map[string]*System{
+				"quotient-unsharded": nil,
+			}
+			quot, err := BuildSystem(context.Background(), c, act, WithParallelism(2), WithQuotient())
+			if err != nil {
+				t.Fatalf("BuildSystem WithQuotient: %v", err)
+			}
+			systems["quotient-unsharded"] = quot
+			for k := 1; k <= 3; k++ {
+				systems[fmt.Sprintf("quotient-k%d", k)] = buildMergedQuotient(t, c, act, k)
+			}
+
+			for label, sys := range systems {
+				compareSystems(t, label, sys, full)
+				if gotImpl := checkImplements(t, sys, P1, 50); fmt.Sprint(gotImpl) != fmt.Sprint(wantImpl) {
+					t.Fatalf("%s: CheckImplements differs:\n got %v\nwant %v", label, gotImpl, wantImpl)
+				}
+				if gotSafety := checkSafety(t, sys, 50); fmt.Sprint(gotSafety) != fmt.Sprint(wantSafety) {
+					t.Fatalf("%s: CheckSafety differs:\n got %v\nwant %v", label, gotSafety, wantSafety)
+				}
+				if checkOpt {
+					if gotOpt := checkOptimality(t, sys, -1, 50); fmt.Sprint(gotOpt) != fmt.Sprint(wantOpt) {
+						t.Fatalf("%s: CheckOptimalityFIP differs:\n got %v\nwant %v", label, gotOpt, wantOpt)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuotientRequiresKeyPermuter: the min exchange's local-state keys
+// cannot cross an agent relabeling (no model.KeyPermuter), so a
+// quotiented build must refuse rather than mis-intern.
+func TestQuotientRequiresKeyPermuter(t *testing.T) {
+	c := Context{Exchange: exchange.NewMin(3), T: 1}
+	if _, err := BuildSystem(context.Background(), c, action.NewMin(1), WithQuotient()); err == nil {
+		t.Fatal("quotiented build over the min exchange succeeded; want a KeyPermuter error")
+	}
+}
+
+// TestCheckersRefuseQuotientedSystem: an unexpanded representative
+// system must not be checkable — its verdicts would quantify over one
+// run per orbit.
+func TestCheckersRefuseQuotientedSystem(t *testing.T) {
+	c := fipContext31()
+	act := action.NewOpt(1)
+	idx, err := BuildShardIndex(context.Background(), c, act, 0, 1, WithQuotient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MergeSystems(context.Background(), []*ShardIndex{idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.CheckImplements(context.Background(), P1, 1); err == nil {
+		t.Error("CheckImplements ran on a quotiented system")
+	}
+	if _, err := rep.CheckSafety(context.Background(), 1); err == nil {
+		t.Error("CheckSafety ran on a quotiented system")
+	}
+	if _, err := rep.CheckOptimalityFIP(context.Background(), -1, 1); err == nil {
+		t.Error("CheckOptimalityFIP ran on a quotiented system")
+	}
+}
+
+// TestExpandQuotientRejects pins the expansion's guard rails: expanding
+// a non-quotiented system and expanding under a mismatched context both
+// fail loudly.
+func TestExpandQuotientRejects(t *testing.T) {
+	c := fipContext31()
+	act := action.NewOpt(1)
+	full, err := BuildSystem(context.Background(), c, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandQuotient(context.Background(), full, c); err == nil {
+		t.Error("ExpandQuotient accepted a non-quotiented system")
+	}
+
+	idx, err := BuildShardIndex(context.Background(), c, act, 0, 1, WithQuotient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MergeSystems(context.Background(), []*ShardIndex{idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandQuotient(context.Background(), rep, Context{Exchange: exchange.NewFIP(4), T: 1}); err == nil {
+		t.Error("ExpandQuotient accepted a context with the wrong n")
+	}
+	if _, err := ExpandQuotient(context.Background(), rep, Context{Exchange: exchange.NewFIP(3), T: 2}); err == nil {
+		t.Error("ExpandQuotient accepted a context with the wrong t")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/source"
 )
 
 const (
@@ -78,6 +79,13 @@ type ShardIndex struct {
 	Horizon int `json:"horizon"`
 	// Runs holds the stripe's runs in stripe order.
 	Runs []ShardRun `json:"runs"`
+	// Quotient marks a symmetry-quotiented stripe (built with
+	// WithQuotient): Runs are canonical orbit representatives and Mults[k]
+	// is run k's orbit size. MergeSystems requires the flag to agree
+	// across shards and reassembles a quotiented System; ExpandQuotient
+	// then rebuilds the full one.
+	Quotient bool    `json:"quotient,omitempty"`
+	Mults    []int64 `json:"mults,omitempty"`
 	// ClassKeys[slot] lists the class keys of slot (time m, agent i),
 	// slot = m·N+i, in the shard's first-appearance order — the canonical
 	// local-state fingerprints the merge re-interns by.
@@ -103,6 +111,12 @@ func BuildShardIndex(ctx context.Context, c Context, act model.ActionProtocol, s
 	src, err := c.scenarioSource(n, horizon)
 	if err != nil {
 		return nil, err
+	}
+	// Quotient inside the stride: the stripes then partition the
+	// representative enumeration, so every orbit is executed exactly once
+	// across the fleet and the stripe ordinals are quotient ordinals.
+	if o.quotient {
+		src = source.Quotient(src)
 	}
 	stripe, err := core.Stride(src, shardIndex, shardCount)
 	if err != nil {
@@ -131,6 +145,10 @@ func exportShardIndex(sys *System, shardIndex, shardCount int) *ShardIndex {
 		T:       sys.T,
 		Horizon: sys.Horizon,
 		Runs:    make([]ShardRun, len(sys.Runs)),
+	}
+	if sys.Quotiented() {
+		idx.Quotient = true
+		idx.Mults = append([]int64{}, sys.weights...)
 	}
 	for k, res := range sys.Runs {
 		pat, _ := res.Pattern.MarshalText()
@@ -240,6 +258,19 @@ func (idx *ShardIndex) Validate() error {
 			}
 		}
 	}
+	if idx.Quotient {
+		if len(idx.Mults) != len(idx.Runs) {
+			return fmt.Errorf("episteme: quotiented shard %d/%d carries %d multiplicities for %d runs",
+				idx.Shard, idx.Shards, len(idx.Mults), len(idx.Runs))
+		}
+		for k, m := range idx.Mults {
+			if m < 1 {
+				return fmt.Errorf("episteme: quotiented shard %d/%d run %d has orbit size %d", idx.Shard, idx.Shards, k, m)
+			}
+		}
+	} else if len(idx.Mults) != 0 {
+		return fmt.Errorf("episteme: shard %d/%d carries multiplicities but is not quotiented", idx.Shard, idx.Shards)
+	}
 	for k, sr := range idx.Runs {
 		if len(sr.Inits) != idx.N || len(sr.Decisions) != idx.N || len(sr.Rounds) != idx.N {
 			return fmt.Errorf("episteme: shard %d/%d run %d has malformed ledgers", idx.Shard, idx.Shards, k)
@@ -345,6 +376,10 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*S
 			return nil, fmt.Errorf("episteme: shard %d built (n=%d,t=%d,h=%d), shard 0 built (n=%d,t=%d,h=%d)",
 				i, idx.N, idx.T, idx.Horizon, ref.N, ref.T, ref.Horizon)
 		}
+		if idx.Quotient != ref.Quotient {
+			return nil, fmt.Errorf("episteme: shard %d quotiented=%v, shard 0 quotiented=%v; the stripes enumerate different sweeps",
+				i, idx.Quotient, ref.Quotient)
+		}
 		// Stack is optional metadata: agreement is required only between
 		// shards that carry it.
 		if idx.Stack != "" {
@@ -365,6 +400,10 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*S
 
 	n, horizon := ref.N, ref.Horizon
 	runs := make([]*engine.Result, total)
+	var weights []int64
+	if ref.Quotient {
+		weights = make([]int64, total)
+	}
 	for g := 0; g < total; g++ {
 		idx := byShard[g%k]
 		res, err := idx.Runs[g/k].restoreRun(n, horizon)
@@ -372,9 +411,12 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*S
 			return nil, fmt.Errorf("episteme: shard %d run %d (global %d): %w", g%k, g/k, g, err)
 		}
 		runs[g] = res
+		if weights != nil {
+			weights[g] = idx.Mults[g/k]
+		}
 	}
 
-	sys := &System{N: n, T: ref.T, Horizon: horizon, Runs: runs, par: o.par}
+	sys := &System{N: n, T: ref.T, Horizon: horizon, Runs: runs, weights: weights, par: o.par}
 	nSlots := (horizon + 1) * n
 	sys.classOf = make([][]int32, nSlots)
 	sys.classRuns = make([][][]int, nSlots)
@@ -391,7 +433,6 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*S
 			slot := mi*n + i
 			byKey := make(map[string]int32)
 			var classKey []string
-			var classRuns [][]int
 			classOf := make([]int32, total)
 			for g := 0; g < total; g++ {
 				idx := byShard[g%k]
@@ -401,13 +442,11 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...Option) (*S
 					c = int32(len(classKey))
 					byKey[key] = c
 					classKey = append(classKey, key)
-					classRuns = append(classRuns, nil)
 				}
 				classOf[g] = c
-				classRuns[c] = append(classRuns[c], g)
 			}
 			sys.classOf[slot] = classOf
-			sys.classRuns[slot] = classRuns
+			sys.classRuns[slot] = packClassRuns(classOf, len(classKey))
 			sys.classKey[slot] = classKey
 			sys.byKey[slot] = byKey
 		}

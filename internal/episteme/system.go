@@ -56,7 +56,8 @@ import (
 type Option func(*options)
 
 type options struct {
-	par int
+	par      int
+	quotient bool
 }
 
 // WithParallelism sets the worker count used to execute runs, build the
@@ -66,6 +67,21 @@ type options struct {
 // the canonical enumeration order.
 func WithParallelism(k int) Option {
 	return func(o *options) { o.par = k }
+}
+
+// WithQuotient makes BuildSystem and BuildShardIndex enumerate only the
+// canonical representative of each agent-permutation orbit
+// (source.Quotient) instead of the full pattern × inits sweep — up to n!
+// fewer executions. BuildSystem transparently expands the representative
+// system back to the full one (ExpandQuotient), so its verdicts are
+// bit-identical to the unquotiented build; BuildShardIndex exports the
+// representative stripe (ShardIndex.Quotient) and the expansion happens
+// once after MergeSystems. Requires the context's exchange to implement
+// model.KeyPermuter and an agent-symmetric stack (every registered stack
+// is; the expansion cross-checks orbit sizes and fails loudly on
+// asymmetry in the enumeration).
+func WithQuotient() Option {
+	return func(o *options) { o.quotient = true }
 }
 
 func newOptions(opts []Option) options {
@@ -190,6 +206,14 @@ type System struct {
 	// Runs holds every enumerated run.
 	Runs []*engine.Result
 
+	// weights, when non-nil, marks a symmetry-quotiented system: Runs are
+	// the canonical orbit representatives of the sweep and weights[r] is
+	// run r's orbit size (source.Quotient). A quotiented system is an
+	// intermediate — ExpandQuotient rebuilds the full system from it; the
+	// checkers refuse to run on one, since every knowledge query would
+	// silently ignore the collapsed runs.
+	weights []int64
+
 	// par is the checker worker count (resolved, >= 1).
 	par int
 
@@ -214,6 +238,31 @@ type System struct {
 	// accessibility graph; cnMu guards the map, each slot builds once.
 	cnMu sync.Mutex
 	cn   map[int]*cnSlot
+}
+
+// Quotiented reports whether the system's runs are symmetry-orbit
+// representatives (built with WithQuotient, or merged from quotiented
+// shard indexes) rather than the full enumeration. A quotiented system
+// must be passed through ExpandQuotient before checking.
+func (s *System) Quotiented() bool { return s.weights != nil }
+
+// Weight returns the number of full-sweep runs run r stands for: its
+// orbit size in a quotiented system, 1 otherwise.
+func (s *System) Weight(run int) int64 {
+	if s.weights == nil {
+		return 1
+	}
+	return s.weights[run]
+}
+
+// checkableSystem refuses to run a checker over a quotiented system:
+// its runs are one-per-orbit, so every knowledge relation and verdict
+// would silently quantify over a fraction of the sweep. Expand first.
+func (s *System) checkableSystem() error {
+	if s.Quotiented() {
+		return fmt.Errorf("episteme: checking a symmetry-quotiented system; ExpandQuotient it first")
+	}
+	return nil
 }
 
 // parallelism returns the checker worker count (>= 1 even on Systems
@@ -249,6 +298,13 @@ func BuildSystem(ctx context.Context, c Context, act model.ActionProtocol, opts 
 	if err != nil {
 		return nil, err
 	}
+	if o.quotient {
+		rep, err := buildSystemFromSource(ctx, c, act, source.Quotient(src), o)
+		if err != nil {
+			return nil, err
+		}
+		return ExpandQuotient(ctx, rep, c)
+	}
 	return buildSystemFromSource(ctx, c, act, src, o)
 }
 
@@ -269,12 +325,36 @@ func buildSystemFromSource(ctx context.Context, c Context, act model.ActionProto
 		core.WithExecutor(newMemoExec(n)),
 		core.WithParallelism(o.par),
 		core.WithBufferReuse())
-	runs, err := runner.RunSource(ctx, src)
-	if err != nil {
-		return nil, err
+	var runs []*engine.Result
+	var weights []int64
+	if o.quotient {
+		// A quotiented source annotates each representative with its orbit
+		// size as the scenario Weight; RunSource drops scenarios, so stream
+		// the outcomes to capture run results and weights side by side
+		// (same ordering and fail-fast semantics as RunSource).
+		weights = []int64{} // non-nil even for an empty stripe: quotiented-ness is structural
+		rctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		for oc := range runner.StreamFrom(rctx, src) {
+			if oc.Err != nil {
+				cancel(oc.Err)
+				return nil, oc.Err
+			}
+			runs = append(runs, oc.Result)
+			weights = append(weights, oc.Scenario.EffectiveWeight())
+		}
+		if rctx.Err() != nil {
+			return nil, context.Cause(rctx)
+		}
+	} else {
+		var err error
+		runs, err = runner.RunSource(ctx, src)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	sys := &System{N: n, T: c.T, Horizon: horizon, Runs: runs, par: o.par}
+	sys := &System{N: n, T: c.T, Horizon: horizon, Runs: runs, weights: weights, par: o.par}
 	if err := sys.buildIndex(ctx, 0, horizon+1); err != nil {
 		return nil, err
 	}
@@ -334,14 +414,11 @@ func (s *System) buildIndex(ctx context.Context, m0, m1 int) error {
 				classOfRow[g] = c
 			}
 			classOf := make([]int32, len(s.Runs))
-			classRuns := make([][]int, len(classKey))
 			for r := range s.Runs {
-				c := classOfRow[rowOf[r]]
-				classOf[r] = c
-				classRuns[c] = append(classRuns[c], r)
+				classOf[r] = classOfRow[rowOf[r]]
 			}
 			s.classOf[slot] = classOf
-			s.classRuns[slot] = classRuns
+			s.classRuns[slot] = packClassRuns(classOf, len(classKey))
 			s.classKey[slot] = classKey
 			s.byKey[slot] = byKey
 		}
@@ -364,6 +441,31 @@ func (s *System) buildIndex(ctx context.Context, m0, m1 int) error {
 		s.classGlobal[slot] = global
 	}
 	return nil
+}
+
+// packClassRuns carves a slot's per-class member lists out of one flat
+// arena: a counting pass sizes each class, every list is a subslice of a
+// single []int slab, and a fill pass appends runs in ascending order —
+// the same member order the append-per-class construction produced, at
+// one allocation per slot instead of one per class. Index slots at late
+// times have tens of thousands of near-singleton classes; the slab is
+// what keeps building (and merging, and expanding) them allocation-cheap.
+func packClassRuns(classOf []int32, nClasses int) [][]int {
+	counts := make([]int, nClasses)
+	for _, c := range classOf {
+		counts[c]++
+	}
+	slab := make([]int, len(classOf))
+	out := make([][]int, nClasses)
+	off := 0
+	for c, cnt := range counts {
+		out[c] = slab[off : off : off+cnt]
+		off += cnt
+	}
+	for r, c := range classOf {
+		out[c] = append(out[c], r)
+	}
+	return out
 }
 
 // slot returns the index slot of agent i at time m.

@@ -18,11 +18,15 @@ var (
 	_ model.State = MinState{}
 	_ model.State = BasicState{}
 	_ model.State = ReportState{}
-	_ model.State = FIPState{}
+	_ model.State = (*FIPState)(nil)
 
 	// FIPState references arena memory on the buffered path and knows
 	// how to freeze itself for retention.
-	_ model.Detacher = FIPState{}
+	_ model.Detacher = (*FIPState)(nil)
+
+	// The full-information exchange's keys embed agent identities, so it
+	// opts into the symmetry rewrite the quotiented model checker needs.
+	_ model.KeyPermuter = (*FIP)(nil)
 
 	_ model.Message = MinMsg{}
 	_ model.Message = BasicMsg{}

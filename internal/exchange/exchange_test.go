@@ -209,7 +209,7 @@ func TestMessageStrings(t *testing.T) {
 
 func TestFIPInitialState(t *testing.T) {
 	e := NewFIP(3)
-	s := e.Initial(1, model.One).(FIPState)
+	s := e.Initial(1, model.One).(*FIPState)
 	if s.Time() != 0 || s.Init() != model.One {
 		t.Errorf("unexpected initial state %+v", s)
 	}
@@ -242,15 +242,15 @@ func TestFIPBroadcastsEveryRound(t *testing.T) {
 
 func TestFIPUpdateRecordsDeliveries(t *testing.T) {
 	e := NewFIP(3)
-	s0 := e.Initial(0, model.One).(FIPState)
-	s1 := e.Initial(1, model.Zero).(FIPState)
+	s0 := e.Initial(0, model.One).(*FIPState)
+	s1 := e.Initial(1, model.Zero).(*FIPState)
 	// Agent 0 receives from itself and agent 1; agent 2 silent.
 	recv := []model.Message{
 		FIPMsg{G: s0.Graph()},
 		FIPMsg{G: s1.Graph()},
 		nil,
 	}
-	ns := e.Update(0, s0, model.Noop, recv).(FIPState)
+	ns := e.Update(0, s0, model.Noop, recv).(*FIPState)
 	g := ns.Graph()
 	if g.M() != 1 || ns.Time() != 1 {
 		t.Fatalf("time/m not advanced: %d/%d", ns.Time(), g.M())
@@ -273,8 +273,8 @@ func TestFIPSelfOmissionInvisible(t *testing.T) {
 	// Footnote 3: dropping one's own message changes nothing. The self
 	// in-edge is labeled Sent whether or not the engine delivered it.
 	e := NewFIP(2)
-	s := e.Initial(0, model.One).(FIPState)
-	other := e.Initial(1, model.One).(FIPState)
+	s := e.Initial(0, model.One).(*FIPState)
+	other := e.Initial(1, model.One).(*FIPState)
 	withSelf := e.Update(0, s, model.Noop,
 		[]model.Message{FIPMsg{G: s.Graph()}, FIPMsg{G: other.Graph()}})
 	withoutSelf := e.Update(0, s, model.Noop,
@@ -289,10 +289,10 @@ func TestFIPKeyExcludesDecided(t *testing.T) {
 	// of the knowledge fingerprint.
 	e := NewFIP(2)
 	s := e.Initial(0, model.One)
-	recv := []model.Message{FIPMsg{G: s.(FIPState).Graph()}, nil}
+	recv := []model.Message{FIPMsg{G: s.(*FIPState).Graph()}, nil}
 	a := e.Update(0, s, model.Noop, recv)
 	b := e.Update(0, s, model.Decide1, recv)
-	if a.(FIPState).Decided() == b.(FIPState).Decided() {
+	if a.(*FIPState).Decided() == b.(*FIPState).Decided() {
 		t.Fatal("cached decided should differ")
 	}
 	if a.Key() != b.Key() {

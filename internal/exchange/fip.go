@@ -40,6 +40,12 @@ func (m FIPMsg) String() string {
 // the knowledge fingerprint: they are redundant, being derivable from the
 // graph and the (deterministic) protocol, and excluding them makes
 // corresponding runs of different action protocols state-identical.
+//
+// States are handled by pointer: boxing a *FIPState into model.State
+// copies one word instead of heap-allocating a 40-byte box per agent per
+// round, and the buffered path bump-allocates the structs from the same
+// scratch epoch as the graphs they reference. Callers must treat the
+// pointed-to state as immutable.
 type FIPState struct {
 	time    int
 	init    model.Value
@@ -49,29 +55,31 @@ type FIPState struct {
 }
 
 // Time returns the state's time component.
-func (s FIPState) Time() int { return s.time }
+func (s *FIPState) Time() int { return s.time }
 
 // Init returns the agent's initial preference.
-func (s FIPState) Init() model.Value { return s.init }
+func (s *FIPState) Init() model.Value { return s.init }
 
 // Decided returns the cached decision, or None.
-func (s FIPState) Decided() model.Value { return s.decided }
+func (s *FIPState) Decided() model.Value { return s.decided }
 
 // JustDecided returns the cached jd observation.
-func (s FIPState) JustDecided() model.Value { return s.jd }
+func (s *FIPState) JustDecided() model.Value { return s.jd }
 
 // Graph returns the agent's communication graph. Callers must not mutate
 // it.
-func (s FIPState) Graph() *graph.Graph { return s.g }
+func (s *FIPState) Graph() *graph.Graph { return s.g }
 
 // Key is the graph's fingerprint: full information, nothing else.
-func (s FIPState) Key() string { return s.g.Key() }
+func (s *FIPState) Key() string { return s.g.Key() }
 
 // DetachState freezes the state for unbounded retention: if its graph is
 // arena-backed the arena is pinned (graph.Graph.Detach), so no scratch
 // Reset will ever recycle the memory under a live trace or interned
-// state row. On plain-heap states it is a no-op.
-func (s FIPState) DetachState() { s.g.Detach() }
+// state row. Pinning the arena also pins the scratch's state slab — the
+// struct s points to shares the epoch (see fipScratch.Reset). On
+// plain-heap states it is a no-op.
+func (s *FIPState) DetachState() { s.g.Detach() }
 
 // FIP is the full-information exchange Efip(n) of Section A.2.7.
 type FIP struct {
@@ -97,7 +105,7 @@ func (e *FIP) N() int { return e.n }
 func (e *FIP) Initial(i model.AgentID, init model.Value) model.State {
 	g := graph.New(i, e.n)
 	g.SetPref(i, init)
-	return FIPState{init: init, decided: model.None, jd: model.None, g: g}
+	return &FIPState{init: init, decided: model.None, jd: model.None, g: g}
 }
 
 // Messages broadcasts the agent's graph to everyone, every round, tagged
@@ -111,7 +119,7 @@ func (e *FIP) Messages(i model.AgentID, s model.State, a model.Action) []model.M
 // per-round send side of the full-information exchange allocates exactly
 // one interface header.
 func (e *FIP) MessagesInto(_ model.AgentID, s model.State, a model.Action, out []model.Message) []model.Message {
-	st := s.(FIPState)
+	st := s.(*FIPState)
 	var msg model.Message = FIPMsg{G: st.g, Announce: a.Decision()}
 	for j := range out {
 		out[j] = msg
@@ -119,18 +127,82 @@ func (e *FIP) MessagesInto(_ model.AgentID, s model.State, a model.Action, out [
 	return out
 }
 
-// fipScratch is the per-worker scratch of the buffered full-information
-// exchange: the arena the per-round graph clones are bump-allocated in.
-type fipScratch struct {
-	arena *graph.Arena
+// PermuteKey rewrites an interned fip state key under an agent
+// relabeling (model.KeyPermuter): the full-information key is the graph
+// key, so the rewrite is graph.PermuteKey.
+func (e *FIP) PermuteKey(key string, perm []model.AgentID) (string, error) {
+	return graph.PermuteKey(key, perm)
 }
 
-// Reset recycles the arena (detached graphs keep their memory).
-func (s *fipScratch) Reset() { s.arena.Reset() }
+// fipStateSlab bump-allocates FIPState structs in per-run epochs, with
+// the same rewind-or-abandon discipline as graph.Arena's slabs: Reset
+// reuses the chunk in place unless a state escaped the epoch, in which
+// case the chunk is left to the garbage collector (the escaping states
+// keep it alive) and a fresh one is carved, sized to the high-water mark.
+type fipStateSlab struct {
+	cur  []FIPState
+	used int
+	hint int
+}
+
+// fipStateSlabMin is the floor chunk size; kept small because an escaped
+// epoch pins its whole chunk (see the graph.Arena granularity note).
+const fipStateSlabMin = 16
+
+// alloc carves one state struct. Contents are stale after a rewind;
+// callers fully overwrite the struct.
+func (s *fipStateSlab) alloc() *FIPState {
+	if len(s.cur) == cap(s.cur) {
+		size := s.hint
+		if d := 2 * s.used; d > size {
+			size = d
+		}
+		if size < fipStateSlabMin {
+			size = fipStateSlabMin
+		}
+		s.cur = make([]FIPState, 0, size)
+	}
+	s.cur = s.cur[:len(s.cur)+1]
+	s.used++
+	return &s.cur[len(s.cur)-1]
+}
+
+// reset closes the epoch, folding usage into the high-water hint exactly
+// like slab.reset in the graph arena.
+func (s *fipStateSlab) reset(abandon bool) {
+	if s.used > s.hint {
+		s.hint = s.used
+	} else {
+		s.hint -= (s.hint - s.used) / 4
+	}
+	s.used = 0
+	if abandon {
+		s.cur = nil
+		return
+	}
+	s.cur = s.cur[:0]
+}
+
+// fipScratch is the per-worker scratch of the buffered full-information
+// exchange: the arena the per-round graph clones are bump-allocated in,
+// plus the slab the state structs themselves come from.
+type fipScratch struct {
+	arena  *graph.Arena
+	states fipStateSlab
+}
+
+// Reset recycles the scratch. A state escapes the epoch exactly when its
+// graph does (DetachState pins the graph arena, and every slab state
+// references an arena graph), so the arena's escape flag — read before
+// Reset clears it — also decides whether the state slab is abandoned.
+func (s *fipScratch) Reset() {
+	s.states.reset(s.arena.Escaped())
+	s.arena.Reset()
+}
 
 // fipScratchPool recycles scratch across acquire/release cycles; the
-// arenas inside keep their slabs only when no graph escaped, so pooling
-// never aliases retained memory.
+// arenas and state slabs inside keep their memory only when no state
+// escaped, so pooling never aliases retained memory.
 var fipScratchPool = sync.Pool{
 	New: func() any { return &fipScratch{arena: graph.NewArena()} },
 }
@@ -154,16 +226,17 @@ func (e *FIP) Update(i model.AgentID, s model.State, a model.Action, received []
 	return e.UpdateScratch(i, s, a, received, nil)
 }
 
-// UpdateScratch is Update with the per-round graph built in the scratch
-// arena (merge-in-place, as always): the zero-allocation δ of the
-// buffered path. With a nil scratch it is exactly Update. The produced
-// state references arena memory and must be Detach-ed before it outlives
-// the next Scratch.Reset; the engine does this for everything reachable
-// from a returned Result.
+// UpdateScratch is Update with the per-round graph and the state struct
+// built in the scratch (merge-in-place, as always): the zero-allocation
+// δ of the buffered path. With a nil scratch it is exactly Update. The
+// produced state references scratch memory and must be Detach-ed before
+// it outlives the next Scratch.Reset; the engine does this for
+// everything reachable from a returned Result.
 func (e *FIP) UpdateScratch(i model.AgentID, s model.State, a model.Action, received []model.Message, sc model.Scratch) model.State {
-	st := s.(FIPState)
+	st := s.(*FIPState)
+	fs, _ := sc.(*fipScratch)
 	var ng *graph.Graph
-	if fs, ok := sc.(*fipScratch); ok && fs != nil {
+	if fs != nil {
 		ng = st.g.CloneExtendedIn(fs.arena)
 	} else {
 		ng = st.g.CloneExtended()
@@ -181,11 +254,21 @@ func (e *FIP) UpdateScratch(i model.AgentID, s model.State, a model.Action, rece
 		ng.SetEdge(st.time, jj, i, graph.Sent)
 		ng.Merge(received[j].(FIPMsg).G)
 	}
-	st.time++
-	st.g = ng
-	if d := a.Decision(); d.IsSet() {
-		st.decided = d
+	var ns *FIPState
+	if fs != nil {
+		ns = fs.states.alloc()
+	} else {
+		ns = new(FIPState)
 	}
-	st.jd = announcedValue(received)
-	return st
+	*ns = FIPState{
+		time:    st.time + 1,
+		init:    st.init,
+		decided: st.decided,
+		jd:      announcedValue(received),
+		g:       ng,
+	}
+	if d := a.Decision(); d.IsSet() {
+		ns.decided = d
+	}
+	return ns
 }

@@ -9,8 +9,11 @@ import (
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/adversary"
+	"repro/internal/core"
 	"repro/internal/episteme"
 	"repro/internal/exchange"
+	"repro/internal/source"
 )
 
 // EpistemeBenchEntry is one measured model-checking workload: building
@@ -21,8 +24,17 @@ type EpistemeBenchEntry struct {
 	// N and T are the context parameters.
 	N int `json:"n"`
 	T int `json:"t"`
+	// Quotient reports whether the system was built through the agent-
+	// permutation symmetry quotient (episteme.WithQuotient): only one
+	// representative per orbit is executed, then the full system is
+	// expanded back by relabeling, so Runs still counts the whole sweep.
+	Quotient bool `json:"quotient,omitempty"`
 	// Runs is the size of the enumerated system.
 	Runs int `json:"runs"`
+	// RepRuns is the number of orbit representatives actually executed
+	// when Quotient is set (0 otherwise); Runs/RepRuns is the symmetry
+	// reduction factor.
+	RepRuns int `json:"rep_runs,omitempty"`
 	// BuildSeconds is the median BuildSystem wall-clock.
 	BuildSeconds float64 `json:"build_seconds"`
 	// CheckImplementsSeconds is the median cold CheckImplements(P1)
@@ -64,9 +76,15 @@ type EpistemeBenchBaseline struct {
 
 // BenchEpisteme measures BuildSystem + CheckImplements on the fip
 // contexts n=3,t=1 and n=4,t=1 (the reference workloads of the model
-// checker's perf trajectory), taking the median of reps repetitions.
-// Every repetition builds a fresh system, so the check includes the C_N
-// condensation cost.
+// checker's perf trajectory), taking the median of reps repetitions,
+// plus two symmetry-quotiented workloads: n=4,t=1 built through
+// episteme.WithQuotient (the direct full-vs-quotient comparison) and
+// the exhaustive n=5,t=1 sweep, which only the quotient makes a
+// practical bench entry (655,392 runs from ~27k executed
+// representatives). Every repetition builds a fresh system, so the
+// check includes the C_N condensation cost; quotiented builds include
+// the expansion back to the full system, so their Runs — and their
+// verdicts — match the unquotiented sweep's exactly.
 func BenchEpisteme(parallelism, reps int) (*EpistemeBench, error) {
 	if reps < 1 {
 		reps = 1
@@ -78,19 +96,38 @@ func BenchEpisteme(parallelism, reps int) (*EpistemeBench, error) {
 		Baseline:    epistemeBaseline,
 	}
 	ctx := context.Background()
-	for _, size := range []struct{ n, t int }{{3, 1}, {4, 1}} {
+	workloads := []struct {
+		n, t     int
+		quotient bool
+	}{
+		{3, 1, false},
+		{4, 1, false},
+		{4, 1, true},
+		{5, 1, true},
+	}
+	for _, w := range workloads {
 		entry := EpistemeBenchEntry{
-			Name: benchName(size.n, size.t),
-			N:    size.n,
-			T:    size.t,
+			Name:     benchName(w.n, w.t, w.quotient),
+			N:        w.n,
+			T:        w.t,
+			Quotient: w.quotient,
+		}
+		buildOpts := []episteme.Option{episteme.WithParallelism(parallelism)}
+		if w.quotient {
+			buildOpts = append(buildOpts, episteme.WithQuotient())
+			repCount, err := quotientRepCount(w.n, w.t)
+			if err != nil {
+				return nil, err
+			}
+			entry.RepRuns = repCount
 		}
 		builds := make([]float64, 0, reps)
 		checks := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
 			t0 := time.Now()
 			sys, err := episteme.BuildSystem(ctx,
-				episteme.Context{Exchange: exchange.NewFIP(size.n), T: size.t},
-				action.NewOpt(size.t), episteme.WithParallelism(parallelism))
+				episteme.Context{Exchange: exchange.NewFIP(w.n), T: w.t},
+				action.NewOpt(w.t), buildOpts...)
 			if err != nil {
 				return nil, err
 			}
@@ -111,8 +148,37 @@ func BenchEpisteme(parallelism, reps int) (*EpistemeBench, error) {
 	return bench, nil
 }
 
-func benchName(n, t int) string {
-	return "fip_n" + strconv.Itoa(n) + "_t" + strconv.Itoa(t)
+func benchName(n, t int, quotient bool) string {
+	name := "fip_n" + strconv.Itoa(n) + "_t" + strconv.Itoa(t)
+	if quotient {
+		name += "_quotient"
+	}
+	return name
+}
+
+// quotientRepCount enumerates the quotiented sweep without executing it
+// and reports how many orbit representatives survive — the number of
+// runs a quotiented build actually executes.
+func quotientRepCount(n, t int) (int, error) {
+	pats, err := source.SO(n, t, t+2, adversary.Options{})
+	if err != nil {
+		return 0, err
+	}
+	src, err := source.CrossInits(pats, n)
+	if err != nil {
+		return 0, err
+	}
+	q := source.Quotient(src)
+	count := 0
+	for _, ok := q.Next(); ok; _, ok = q.Next() {
+		count++
+	}
+	if es, ok := q.(core.ErrorSource); ok {
+		if err := es.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
 }
 
 // epistemeBaseline is the pre-sharding checker (PR 2's private worker

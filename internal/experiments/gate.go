@@ -149,6 +149,11 @@ func gateEpisteme(baseline, current []byte) ([]string, error) {
 				fmt.Sprintf("episteme %s: %d runs, baseline enumerated %d (the sweep changed shape)",
 					b.Name, c.Runs, b.Runs))
 		}
+		if b.RepRuns > 0 && c.RepRuns != b.RepRuns {
+			violations = append(violations,
+				fmt.Sprintf("episteme %s: %d orbit representatives, baseline enumerated %d (the symmetry quotient changed shape)",
+					b.Name, c.RepRuns, b.RepRuns))
+		}
 	}
 	return violations, nil
 }

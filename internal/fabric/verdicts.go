@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/episteme"
 	"repro/internal/registry"
 )
@@ -54,6 +55,21 @@ func WriteVerdicts(ctx context.Context, w io.Writer, sys *episteme.System, stack
 	max := opts.MaxViolations
 	if max <= 0 {
 		max = 5
+	}
+
+	// A symmetry-quotiented system (shards built with -quotient) carries
+	// one run per agent-permutation orbit; expand it back to the full
+	// sweep before checking, so the verdict block — including the run
+	// count — is byte-identical to an unquotiented run's.
+	if sys.Quotiented() {
+		stack, err := core.NewStack(stackName, core.WithN(sys.N), core.WithT(sys.T), core.WithHorizon(sys.Horizon))
+		if err != nil {
+			return fmt.Errorf("fabric: resolving stack for quotient expansion: %w", err)
+		}
+		sys, err = episteme.ExpandQuotient(ctx, sys, episteme.ContextFor(stack))
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(w, "stack: %s (n=%d, t=%d, horizon=%d)\n", stackName, sys.N, sys.T, sys.Horizon)

@@ -146,6 +146,13 @@ func (a *Arena) escape() {
 	}
 }
 
+// Escaped reports whether any graph allocated since the last Reset has
+// been Detach-ed. Callers that co-locate their own per-run slabs with an
+// arena (the full-information exchange slab-allocates its state structs
+// alongside the graphs they reference) read this before Reset to decide
+// whether their slabs must be abandoned in the same epoch.
+func (a *Arena) Escaped() bool { return a != nil && a.escaped }
+
 // newGraph carves one Graph struct. The slot's fields are fully assigned
 // by the callers; only the cached key (which survives slab rewinds) is
 // cleared here.

@@ -42,7 +42,7 @@ func harvest(t *testing.T, seed int64) *engine.Result {
 }
 
 func viewAt(res *engine.Result, m, i int) *graph.Graph {
-	return res.States[m][i].(exchange.FIPState).Graph()
+	return res.States[m][i].(*exchange.FIPState).Graph()
 }
 
 func TestMergeCommutativeOnConsistentViews(t *testing.T) {

@@ -38,7 +38,7 @@ func checkInference(t *testing.T, tf int, res *engine.Result) {
 	t.Helper()
 	for m := 0; m <= res.Horizon; m++ {
 		for i := 0; i < res.N; i++ {
-			st := res.States[m][i].(exchange.FIPState)
+			st := res.States[m][i].(*exchange.FIPState)
 			r := graph.NewRef(tf, st.Graph())
 			for k := 0; k < m; k++ {
 				for j := 0; j < res.N; j++ {

@@ -147,6 +147,25 @@ func DetachAll(states []State) {
 	}
 }
 
+// KeyPermuter is the opt-in symmetry extension of Exchange: it rewrites
+// an interned state key under an agent relabeling, without access to the
+// state itself. PermuteKey(s.Key(), perm) must equal the key of the state
+// the same agent's counterpart perm[i] reaches in the permuted run — the
+// contract that lets the model checker expand a symmetry-quotiented
+// system into the full one by string rewriting alone (the permuted runs
+// were never executed, so no State values exist for them).
+//
+// Exchanges whose keys mention no agent identities (Emin, Ebasic, the
+// report exchange) need not implement KeyPermuter: for them the permuted
+// key is the key itself, and consumers treat absence as the identity
+// rewrite.
+type KeyPermuter interface {
+	// PermuteKey rewrites key under perm, where perm[i] is the new
+	// identity of old agent i (the Pattern.Permute convention). It
+	// returns an error if key is not a well-formed key of this exchange.
+	PermuteKey(key string, perm []AgentID) (string, error)
+}
+
 // ActionProtocol is a (deterministic, memoryless) action protocol
 // P = (P_1,...,P_n): a map from local states to actions (Section 3).
 // Concrete protocols downcast State to the state type of the exchange they

@@ -1,0 +1,296 @@
+package model
+
+import "bytes"
+
+// This file implements the agent-permutation symmetry of the paper's
+// failure models: the exchanges and action protocols treat agents
+// uniformly, so relabeling agents maps runs to runs and preserves every
+// verdict. Quotienting a sweep by this S_n action — executing one
+// representative per orbit and weighting it by the orbit size — shrinks
+// exhaustive sweeps by up to n!.
+//
+// The canonical representative of a scenario (pattern, inits) is the
+// lexicographic minimum, over all agent permutations, of the pair
+// (Pattern.Key(), inits). Because Pattern.Key() renders the faulty bitmap
+// first and '0' < '1', the minimum places the faulty agents at the
+// highest indices, so the search only needs the f!·(n−f)! permutations
+// that map the faulty set onto the top index block.
+
+// Permute returns the pattern relabeled by perm, where perm[i] is the new
+// identity of old agent i: agent perm[i] of the result plays the role
+// agent i played in p (it is faulty iff i was, and its message to perm[j]
+// at time m is dropped iff i's message to j was). perm must be a
+// permutation of 0..n-1; Permute panics otherwise.
+func (p *Pattern) Permute(perm []AgentID) *Pattern {
+	checkPerm(p.n, perm)
+	q := NewPattern(p.n, p.horizon)
+	for i := 0; i < p.n; i++ {
+		q.faulty[perm[i]] = p.faulty[i]
+	}
+	for m := 0; m < p.horizon; m++ {
+		for i := 0; i < p.n; i++ {
+			for j := 0; j < p.n; j++ {
+				if p.drops[p.idx(m, AgentID(i), AgentID(j))] {
+					q.drops[q.idx(m, perm[i], perm[j])] = true
+				}
+			}
+		}
+	}
+	return q
+}
+
+// checkPerm panics unless perm is a permutation of 0..n-1.
+func checkPerm(n int, perm []AgentID) {
+	if len(perm) != n {
+		panic("model: permutation length does not match agent count")
+	}
+	var seen [64]bool
+	big := n > len(seen)
+	var seenBig map[AgentID]bool
+	if big {
+		seenBig = make(map[AgentID]bool, n)
+	}
+	for _, v := range perm {
+		if int(v) < 0 || int(v) >= n {
+			panic("model: permutation entry out of range")
+		}
+		if big {
+			if seenBig[v] {
+				panic("model: permutation entry repeated")
+			}
+			seenBig[v] = true
+		} else {
+			if seen[v] {
+				panic("model: permutation entry repeated")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// PermuteValues returns the value vector relabeled by perm: the result's
+// entry perm[i] is vals[i]. perm must be a permutation of 0..len(vals)-1;
+// PermuteValues panics otherwise.
+func PermuteValues(vals []Value, perm []AgentID) []Value {
+	checkPerm(len(vals), perm)
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		out[perm[i]] = v
+	}
+	return out
+}
+
+// CanonicalizeScenario returns the canonical representative of the
+// scenario (p, inits) under agent permutation, together with the orbit
+// size (the number of distinct scenarios obtained by permuting agents,
+// including the scenario itself). The representative is the
+// lexicographically minimal (Pattern.Key(), inits) pair over all n!
+// permutations; two scenarios permute into each other iff they share a
+// representative. len(inits) must equal p.N().
+//
+// The search cost is f!·(n−f)! candidate keys for f faulty agents — the
+// only permutations that can reach the minimum are those mapping the
+// faulty set onto the top index block.
+func CanonicalizeScenario(p *Pattern, inits []Value) (*Pattern, []Value, int64) {
+	rep, repInits, orbit, _ := CanonicalizeScenarioPerm(p, inits)
+	return rep, repInits, orbit
+}
+
+// CanonicalizeScenarioPerm is CanonicalizeScenario, additionally
+// returning a permutation that carries (p, inits) onto the
+// representative: rep = p.Permute(perm), repInits = PermuteValues(inits,
+// perm). When several permutations reach the representative (the
+// scenario has a non-trivial stabilizer) the returned one is the first in
+// the deterministic search order.
+func CanonicalizeScenarioPerm(p *Pattern, inits []Value) (*Pattern, []Value, int64, []AgentID) {
+	s := newCanonSearch(p, inits)
+	s.run()
+	rep := p.Permute(s.best)
+	repInits := PermuteValues(inits, s.best)
+	return rep, repInits, s.orbit(), s.best
+}
+
+// IsCanonicalScenario reports whether (p, inits) is its own orbit
+// representative, returning the orbit size. Sweep quotienting uses this
+// to keep exactly one scenario per orbit without materializing the
+// representative.
+func IsCanonicalScenario(p *Pattern, inits []Value) (int64, bool) {
+	s := newCanonSearch(p, inits)
+	s.run()
+	return s.orbit(), s.isIdentityMin()
+}
+
+// canonSearch enumerates the split-respecting permutations of one
+// scenario and tracks the minimal permuted key.
+type canonSearch struct {
+	p     *Pattern
+	inits []Value
+	n     int
+
+	// slots[k] lists the old agents that may occupy new index k's block:
+	// nonfaulty agents fill indices 0..n-f-1, faulty agents the rest.
+	nonfaulty []AgentID
+	faulty    []AgentID
+
+	// inv[a] is the old agent at new index a for the candidate under
+	// construction; perm is its inverse (old → new).
+	inv  []AgentID
+	perm []AgentID
+
+	// cur and min hold candidate key bytes: the drop bitmap in new-index
+	// order followed by the permuted inits. The faulty bitmap is omitted —
+	// every candidate shares it.
+	cur []byte
+	min []byte
+
+	best     []AgentID // first permutation achieving min
+	minCount int64     // permutations achieving min = stabilizer order
+}
+
+func newCanonSearch(p *Pattern, inits []Value) *canonSearch {
+	if len(inits) != p.n {
+		panic("model: CanonicalizeScenario inits length does not match pattern")
+	}
+	s := &canonSearch{
+		p:         p,
+		inits:     inits,
+		n:         p.n,
+		nonfaulty: p.NonfaultySet(),
+		faulty:    p.FaultySet(),
+		inv:       make([]AgentID, p.n),
+		perm:      make([]AgentID, p.n),
+		cur:       make([]byte, len(p.drops)+p.n),
+		min:       nil,
+	}
+	return s
+}
+
+// run enumerates every assignment of nonfaulty agents to the low block
+// and faulty agents to the high block, evaluating each candidate key.
+func (s *canonSearch) run() {
+	s.permuteBlock(s.nonfaulty, 0, func() {
+		s.permuteBlock(s.faulty, len(s.nonfaulty), func() {
+			s.evaluate()
+		})
+	})
+}
+
+// permuteBlock assigns every ordering of agents to new indices base,
+// base+1, ... via Heap-style recursion on a scratch copy.
+func (s *canonSearch) permuteBlock(agents []AgentID, base int, done func()) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(agents) {
+			done()
+			return
+		}
+		for i := k; i < len(agents); i++ {
+			agents[k], agents[i] = agents[i], agents[k]
+			s.inv[base+k] = agents[k]
+			rec(k + 1)
+			agents[k], agents[i] = agents[i], agents[k]
+		}
+	}
+	rec(0)
+}
+
+// evaluate renders the candidate key for the current inv assignment and
+// folds it into the running minimum.
+func (s *canonSearch) evaluate() {
+	p, n := s.p, s.n
+	buf := s.cur
+	w := 0
+	for m := 0; m < p.horizon; m++ {
+		mBase := m * n * n
+		for a := 0; a < n; a++ {
+			row := mBase + int(s.inv[a])*n
+			for b := 0; b < n; b++ {
+				buf[w] = boolByte(p.drops[row+int(s.inv[b])])
+				w++
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		buf[w] = valueByte(s.inits[s.inv[a]])
+		w++
+	}
+	switch {
+	case s.min == nil || bytes.Compare(buf, s.min) < 0:
+		if s.min == nil {
+			s.min = make([]byte, len(buf))
+		}
+		copy(s.min, buf)
+		s.minCount = 1
+		s.best = s.currentPerm()
+	case bytes.Equal(buf, s.min):
+		s.minCount++
+	}
+}
+
+// currentPerm snapshots the old→new permutation for the current inv.
+func (s *canonSearch) currentPerm() []AgentID {
+	perm := make([]AgentID, s.n)
+	for a := 0; a < s.n; a++ {
+		perm[s.inv[a]] = AgentID(a)
+	}
+	return perm
+}
+
+// orbit returns n!/|stabilizer|; the candidates achieving the minimum
+// are exactly one coset of the scenario's stabilizer.
+func (s *canonSearch) orbit() int64 {
+	return factorial(s.n) / s.minCount
+}
+
+// isIdentityMin reports whether the identity permutation attains the
+// minimal key — i.e. the scenario is already canonical. The identity is
+// split-respecting only when the faulty agents already occupy the top
+// index block.
+func (s *canonSearch) isIdentityMin() bool {
+	f := len(s.faulty)
+	for k, a := range s.faulty {
+		if int(a) != s.n-f+k {
+			return false
+		}
+	}
+	p, n := s.p, s.n
+	w := 0
+	for m := 0; m < p.horizon; m++ {
+		mBase := m * n * n
+		for a := 0; a < n; a++ {
+			row := mBase + a*n
+			for b := 0; b < n; b++ {
+				if s.min[w] != boolByte(p.drops[row+b]) {
+					return false
+				}
+				w++
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		if s.min[w] != valueByte(s.inits[a]) {
+			return false
+		}
+		w++
+	}
+	return true
+}
+
+func valueByte(v Value) byte {
+	switch v {
+	case Zero:
+		return '0'
+	case One:
+		return '1'
+	default:
+		return '?'
+	}
+}
+
+func factorial(n int) int64 {
+	f := int64(1)
+	for k := 2; k <= n; k++ {
+		f *= int64(k)
+	}
+	return f
+}

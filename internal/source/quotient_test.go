@@ -1,0 +1,114 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// drain pulls the source dry, returning scenarios. (scenarioKey and
+// soSweep are shared with shard_test.go.)
+func drain(src Source) []core.Scenario {
+	var out []core.Scenario
+	for sc, ok := src.Next(); ok; sc, ok = src.Next() {
+		out = append(out, sc)
+	}
+	return out
+}
+
+func TestQuotientWeightsCoverFullSweep(t *testing.T) {
+	for _, cfg := range []struct{ n, t int }{{3, 1}, {4, 1}, {3, 2}} {
+		horizon := cfg.t + 2
+		full := drain(soSweep(t, cfg.n, cfg.t, horizon))
+		reps := drain(Quotient(soSweep(t, cfg.n, cfg.t, horizon)))
+
+		var weighted int64
+		repKeys := make(map[string]bool, len(reps))
+		for _, sc := range reps {
+			if sc.Weight < 1 {
+				t.Fatalf("n=%d t=%d: representative without weight: %+v", cfg.n, cfg.t, sc)
+			}
+			weighted += sc.Weight
+			repKeys[scenarioKey(sc)] = true
+		}
+		if weighted != int64(len(full)) {
+			t.Errorf("n=%d t=%d: quotient weights sum to %d, full sweep has %d scenarios",
+				cfg.n, cfg.t, weighted, len(full))
+		}
+		if len(repKeys) != len(reps) {
+			t.Errorf("n=%d t=%d: duplicate representatives", cfg.n, cfg.t)
+		}
+
+		// Every full-sweep scenario's canonical form must be among the
+		// representatives (the quotient is a full set of orbit reps).
+		// The weighted-total check above already pins the big sweep;
+		// canonicalizing every one of its scenarios again is test budget.
+		if len(full) > 100_000 {
+			continue
+		}
+		for _, sc := range full {
+			rep, repInits, _ := model.CanonicalizeScenario(sc.Pattern, sc.Inits)
+			if !repKeys[scenarioKey(core.Scenario{Pattern: rep, Inits: repInits})] {
+				t.Fatalf("n=%d t=%d: scenario %s canonicalizes outside the representative set",
+					cfg.n, cfg.t, scenarioKey(sc))
+			}
+		}
+	}
+}
+
+// TestQuotientReduction pins the ISSUE's acceptance bar: the quotiented
+// n=4,t=1 fip-shaped sweep must execute at least 4× fewer scenarios than
+// the full 32,784.
+func TestQuotientReduction(t *testing.T) {
+	full := drain(soSweep(t, 4, 1, 3))
+	if len(full) != 32784 {
+		t.Fatalf("full n=4,t=1 sweep has %d scenarios, want 32784", len(full))
+	}
+	reps := drain(Quotient(soSweep(t, 4, 1, 3)))
+	if 4*len(reps) > len(full) {
+		t.Errorf("quotient kept %d of %d scenarios; want at least a 4x reduction", len(reps), len(full))
+	}
+	t.Logf("n=4,t=1: %d representatives for %d scenarios (%.1fx reduction)",
+		len(reps), len(full), float64(len(full))/float64(len(reps)))
+}
+
+// TestQuotientComposesWithStride checks the sharding contract: striding
+// the quotient partitions the representative enumeration exactly, with
+// weights intact.
+func TestQuotientComposesWithStride(t *testing.T) {
+	whole := drain(Quotient(soSweep(t, 3, 1, 3)))
+	for _, k := range []int{1, 2, 3} {
+		var merged []core.Scenario
+		stripes := make([][]core.Scenario, k)
+		for i := 0; i < k; i++ {
+			stripe, err := Stride(Quotient(soSweep(t, 3, 1, 3)), i, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripes[i] = drain(stripe)
+		}
+		// Round-robin re-interleave in ordinal order.
+		for pos := 0; ; pos++ {
+			i, j := pos%k, pos/k
+			if j >= len(stripes[i]) {
+				break
+			}
+			merged = append(merged, stripes[i][j])
+		}
+		if len(merged) != len(whole) {
+			t.Fatalf("K=%d: stripes merge to %d scenarios, quotient has %d", k, len(merged), len(whole))
+		}
+		for idx := range whole {
+			if scenarioKey(merged[idx]) != scenarioKey(whole[idx]) || merged[idx].Weight != whole[idx].Weight {
+				t.Fatalf("K=%d: merged ordinal %d differs from unsharded quotient", k, idx)
+			}
+		}
+	}
+}
+
+func TestQuotientCountUnknown(t *testing.T) {
+	if _, ok := Quotient(soSweep(t, 3, 1, 3)).Count(); ok {
+		t.Fatal("quotient source reported a known count; representative counts are discovered")
+	}
+}

@@ -115,6 +115,19 @@ func MergeSystems(ctx context.Context, shards []*ShardIndex, opts ...CheckOption
 	return episteme.MergeSystems(ctx, shards, opts...)
 }
 
+// ExpandQuotient rebuilds the full interpreted system from a
+// symmetry-quotiented one — the System MergeSystems returns when the
+// shards were built with WithCheckQuotient. The expansion re-enumerates
+// the stack's sweep without executing it, synthesizing each run and its
+// interned local-state classes from the run's orbit representative via
+// agent relabeling; the result is bit-identical to the unquotiented
+// BuildSystem's, so every verdict downstream agrees with the full sweep.
+// stack must be the stack the shards enumerated (the expansion
+// cross-checks every orbit and fails loudly on a mismatch).
+func ExpandQuotient(ctx context.Context, sys *System, stack Stack) (*System, error) {
+	return episteme.ExpandQuotient(ctx, sys, episteme.ContextFor(stack))
+}
+
 // WriteShardIndex serializes a shard index as JSON; ReadShardIndex is
 // its inverse.
 func WriteShardIndex(w io.Writer, idx *ShardIndex) error { return episteme.WriteShardIndex(w, idx) }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/source"
 )
 
@@ -79,3 +80,26 @@ func SourceFromScenarios(scenarios []Scenario) Source {
 
 // SourceLimit truncates a source after max scenarios.
 func SourceLimit(src Source, max int64) Source { return source.Limit(src, max) }
+
+// CanonicalizeScenario returns the canonical representative of the
+// scenario's orbit under agent permutation (restricted to permutations
+// preserving the faulty/correct split) and the orbit's size — the
+// multiplicity SourceQuotient annotates representatives with. Scenarios
+// in one orbit produce permutation-equivalent runs under every
+// agent-symmetric stack, so one representative stands for them all.
+func CanonicalizeScenario(pat *Pattern, inits []Value) (*Pattern, []Value, int64) {
+	return model.CanonicalizeScenario(pat, inits)
+}
+
+// SourceQuotient filters a source down to the canonical representative
+// of each agent-permutation orbit, annotating every survivor with its
+// orbit size as Scenario.Weight — up to an n!-fold reduction of an
+// exhaustive sweep over an agent-symmetric stack. Weighted aggregates
+// (Runner.RunShard outcome multiplicities, MergeOutcomes' weighted
+// totals, the model checker's expanded system) recover exact full-sweep
+// counts from the representatives. It composes with the other
+// combinators; when sharding, put it inside SourceStride —
+// SourceStride(SourceQuotient(src), i, k) — so the K stripes partition
+// the representative enumeration. The representative count is discovered
+// during enumeration, so the quotiented source reports an unknown Count.
+func SourceQuotient(src Source) Source { return source.Quotient(src) }

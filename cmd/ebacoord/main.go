@@ -16,6 +16,12 @@
 // restarted over the same spool re-verifies what's on disk and resumes
 // with only the missing stripes outstanding.
 //
+// With -cache DIR the coordinator also hosts a shared result cache over
+// that directory at <listen>/cache; workers that join with
+// -cache-url http://<coordinator>/cache answer already-swept scenarios
+// from it instead of re-executing them, and /status reports the store's
+// traffic alongside every worker's own cache counters.
+//
 // Exit codes match ebashard's: 2 for verification failures (torn or
 // tampered stripes, digest conflicts between duplicate uploads, failed
 // verdicts), 3 for transport failures, 1 for everything else.
@@ -74,6 +80,7 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 30*time.Second, "bound on server request headers and on shutdown")
 		linger    = fs.Duration("linger", 2*time.Second, "how long to keep answering workers after the job ends, so they drain")
 		out       = fs.String("out", "", "also copy the merged output here when the job completes (\"-\" for stdout)")
+		cacheDir  = fs.String("cache", "", "host a shared result cache over this directory at <listen>/cache (workers join it with -cache-url)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,7 +102,7 @@ func run(args []string) error {
 		Stripes:   *stripes,
 		SpecCheck: *spec,
 	}
-	coord, err := eba.NewCoordinator(eba.CoordinatorConfig{
+	cfg := eba.CoordinatorConfig{
 		Job:         job,
 		SpoolDir:    *spool,
 		LeaseTTL:    *leaseTTL,
@@ -103,7 +110,16 @@ func run(args []string) error {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if *cacheDir != "" {
+		store, err := eba.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cfg.CacheStore = store
+	}
+	coord, err := eba.NewCoordinator(cfg)
 	if err != nil {
 		return err
 	}
@@ -149,6 +165,11 @@ func run(args []string) error {
 		status.Phase, status.Stripes.Done, status.Stripes.Total,
 		status.Counters.Leases, status.Counters.Expirations, status.Counters.Steals,
 		status.Counters.Rejects, status.Counters.Duplicates)
+	if status.Cache != nil {
+		fmt.Fprintf(os.Stderr, "ebacoord: shared cache: %d hits, %d misses, %d puts, %d bytes served, %d written\n",
+			status.Cache.Hits, status.Cache.Misses, status.Cache.Puts,
+			status.Cache.BytesServed, status.Cache.BytesWritten)
+	}
 
 	if *out != "" && (status.Phase == eba.FabricComplete) {
 		if err := copyMerged(coord.MergedPath(), *out); err != nil {

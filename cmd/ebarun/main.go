@@ -56,6 +56,8 @@ func run(args []string) error {
 		sweepN     = fs.Int64("sweep", 0, "stream this many seeded random scenarios through the Runner instead of one configured run")
 		order      = fs.String("order", "ordered", "sweep emission order: ordered (scenario order) or completion (as workers finish)")
 		quotient   = fs.Bool("quotient", false, "run the canonical representative of the configured scenario's agent-permutation orbit instead of the scenario itself")
+		cacheDir   = fs.String("cache", "", "-sweep: result cache directory — answer already-executed scenarios from it instead of re-running")
+		cacheURL   = fs.String("cache-url", "", "-sweep: shared result cache server URL (see ebacoord -cache); combine with -cache for a local tier over it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +92,15 @@ func run(args []string) error {
 			return fmt.Errorf("%s cannot apply to -sweep (the sweep draws random adversaries and inits and prints a summary; symmetry quotients are for exhaustive sweeps — see ebashard -quotient)",
 				strings.Join(incompatible, ", "))
 		}
-		return runSweep(stack, executor, *sweepN, *seed, *drop, *order)
+		store, closeStore, err := openResultCache(*cacheDir, *cacheURL)
+		if err != nil {
+			return err
+		}
+		defer closeStore()
+		return runSweep(stack, executor, *sweepN, *seed, *drop, *order, store)
+	}
+	if *cacheDir != "" || *cacheURL != "" {
+		return fmt.Errorf("-cache/-cache-url apply to -sweep only (single runs print full traces, which the cache does not store)")
 	}
 	pat, err := makeAdversary(*advSpec, *n, *t, stack.Horizon(), *seed, *drop)
 	if err != nil {
@@ -190,7 +200,7 @@ func run(args []string) error {
 // violations. With -order completion the outcomes are consumed as workers
 // finish them (the aggregate is order-independent, so the summary is
 // identical either way).
-func runSweep(stack eba.Stack, executor eba.Executor, count, seed int64, drop float64, order string) error {
+func runSweep(stack eba.Stack, executor eba.Executor, count, seed int64, drop float64, order string, store eba.ResultCache) error {
 	var streamOpts []eba.StreamOption
 	switch order {
 	case "ordered":
@@ -200,11 +210,16 @@ func runSweep(stack eba.Stack, executor eba.Executor, count, seed int64, drop fl
 		return fmt.Errorf("unknown sweep order %q (have ordered, completion)", order)
 	}
 	src := eba.SourceRandomSO(seed, stack.N, stack.T, stack.Horizon(), drop, count)
-	runner := eba.NewRunner(stack,
+	runnerOpts := []eba.RunnerOption{
 		eba.WithExecutor(executor),
 		eba.WithParallelism(0),
 		eba.WithBufferReuse(),
-		eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon()}))
+		eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon()}),
+	}
+	if store != nil {
+		runnerOpts = append(runnerOpts, eba.WithResultCache(store, eba.CacheFingerprint()))
+	}
+	runner := eba.NewRunner(stack, runnerOpts...)
 
 	fmt.Printf("sweep: stack=%s n=%d t=%d horizon=%d executor=%s scenarios=%d drop=%.2f seed=%d order=%s\n\n",
 		stack.Name, stack.N, stack.T, stack.Horizon(), executor.Name(), count, drop, seed, order)
@@ -231,6 +246,10 @@ func runSweep(stack eba.Stack, executor eba.Executor, count, seed int64, drop fl
 		fmt.Printf("decided by round %2d: %8d run(s)\n", r, c)
 	}
 	fmt.Printf("\n%d runs; EBA specification violations: %d\n", runs, violations)
+	if statser, ok := store.(interface{ Stats() eba.CacheStats }); ok {
+		st := statser.Stats()
+		fmt.Printf("cache: %d hits, %d misses\n", st.Hits, st.Misses)
+	}
 	if violations > 0 {
 		if stack.Name != "naive" {
 			return fmt.Errorf("unexpected specification violations (first: %v)", firstViolation)
@@ -238,6 +257,27 @@ func runSweep(stack eba.Stack, executor eba.Executor, count, seed int64, drop fl
 		fmt.Println("(expected: the naive stack is the paper's counterexample)")
 	}
 	return nil
+}
+
+// openResultCache resolves the -cache/-cache-url pair into one store:
+// the directory alone, the server alone, or the directory tiered over
+// the server. Returns a nil store when neither flag is set.
+func openResultCache(dir, url string) (eba.ResultCache, func() error, error) {
+	noop := func() error { return nil }
+	switch {
+	case dir == "" && url == "":
+		return nil, noop, nil
+	case dir == "":
+		return eba.NewCacheClient(url), noop, nil
+	}
+	local, err := eba.OpenCache(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if url == "" {
+		return local, local.Close, nil
+	}
+	return eba.NewTieredCache(local, eba.NewCacheClient(url)), local.Close, nil
 }
 
 // makeStack resolves a registered stack name, falling back to the

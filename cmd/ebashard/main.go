@@ -36,6 +36,20 @@
 // -check -merge time, so the verdict lines still diff clean against an
 // unquotiented run's.
 //
+// Result cache: -cache DIR answers already-swept scenarios from a
+// persistent content-addressed store instead of re-executing them —
+// streams and indexes stay byte-identical, a warm re-run just skips the
+// execution. -cache-url URL consults a shared cache server instead
+// (ebacoord -cache serves one at <coordinator>/cache); giving both
+// tiers the directory over the server. Keys fold in the binary's VCS
+// revision, so a rebuilt binary never reuses stale entries, and every
+// entry is digest-verified on read — damage means recompute, never a
+// wrong answer. -cache-gc compacts the directory (bound its size with
+// -cache-max-bytes) and exits.
+//
+//	ebashard -stack fip -n 4 -t 1 -quotient -cache ~/.eba-cache -out sweep.jsonl
+//	ebashard -cache-gc -cache ~/.eba-cache -cache-max-bytes 1000000000
+//
 // Fleet mode: -worker joins a cross-machine fabric instead of running a
 // fixed -shard stripe. The worker pulls stripe leases from the ebacoord
 // coordinator at the given URL, runs them through the same paths as
@@ -102,6 +116,10 @@ func run(args []string) error {
 		worker     = fs.String("worker", "", "join the fabric coordinator at this URL as a worker")
 		workerID   = fs.String("id", "", "worker identity reported to the coordinator (default hostname-pid)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "worker mode: per-request timeout on every network call")
+		cacheDir   = fs.String("cache", "", "result cache directory: answer already-swept scenarios from it instead of re-executing")
+		cacheURL   = fs.String("cache-url", "", "shared result cache server URL (ebacoord -cache serves one at <coordinator>/cache); combine with -cache for a local tier over it")
+		cacheGC    = fs.Bool("cache-gc", false, "compact the -cache directory (drop dead and damaged entries) and exit")
+		cacheMax   = fs.Int64("cache-max-bytes", 0, "-cache-gc: evict oldest entries until the cache payload fits this budget (0 = keep everything live)")
 	)
 	shard := eba.ShardSpec{}
 	if env := os.Getenv(eba.ShardEnvVar); env != "" {
@@ -115,30 +133,88 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if shard == (eba.ShardSpec{}) {
+		// No -shard and no $EBA_SHARD: the documented default is the
+		// whole sweep (RunShard takes the raw index/count pair, which
+		// must not stay 0/0).
+		shard = eba.ShardSpec{Index: 0, Count: 1}
+	}
+
+	if *cacheGC {
+		return runCacheGC(*cacheDir, *cacheMax)
+	}
+	store, closeStore, err := openResultCache(*cacheDir, *cacheURL)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
 
 	switch {
 	case *worker != "":
-		return runWorker(*worker, *workerID, *parallel, *timeout)
+		return runWorker(*worker, *workerID, *parallel, *timeout, store)
 	case *merge && *check:
 		return mergeIndexes(fs.Args(), *out, *parallel, *safety, *optimality)
 	case *merge:
 		return mergeStreams(fs.Args(), *out)
 	case *check:
-		return buildIndex(*stackName, *n, *t, shard, *out, *parallel, *quotient)
+		return buildIndex(*stackName, *n, *t, shard, *out, *parallel, *quotient, store)
 	default:
-		return runStripe(*stackName, *n, *t, shard, *out, *parallel, *spec, *quotient)
+		return runStripe(*stackName, *n, *t, shard, *out, *parallel, *spec, *quotient, store)
 	}
+}
+
+// openResultCache resolves the -cache/-cache-url pair into one store:
+// the directory alone, the server alone, or the directory tiered over
+// the server (local hits win, remote hits back-fill, puts write to
+// both). Returns a nil store when neither flag is set.
+func openResultCache(dir, url string) (eba.ResultCache, func() error, error) {
+	noop := func() error { return nil }
+	switch {
+	case dir == "" && url == "":
+		return nil, noop, nil
+	case dir == "":
+		return eba.NewCacheClient(url), noop, nil
+	}
+	local, err := eba.OpenCache(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if url == "" {
+		return local, local.Close, nil
+	}
+	return eba.NewTieredCache(local, eba.NewCacheClient(url)), local.Close, nil
+}
+
+// runCacheGC compacts the cache directory and reports what survived.
+func runCacheGC(dir string, maxBytes int64) error {
+	if dir == "" {
+		return fmt.Errorf("-cache-gc needs -cache DIR")
+	}
+	c, err := eba.OpenCache(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	res, err := c.GC(maxBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ebashard: cache %s: %d entries kept, %d dropped; %d segment(s) %d bytes -> %d segment(s) %d bytes\n",
+		dir, res.Kept, res.Dropped, res.SegmentsBefore, res.BytesBefore, res.SegmentsAfter, res.BytesAfter)
+	return nil
 }
 
 // runWorker joins the fabric coordinator at coordURL and runs stripes
 // until the job completes. The first SIGTERM/SIGINT drains gracefully —
 // the stripe in hand finishes and uploads — and a second aborts.
-func runWorker(coordURL, id string, parallel int, timeout time.Duration) error {
+func runWorker(coordURL, id string, parallel int, timeout time.Duration, store eba.ResultCache) error {
 	w, err := eba.NewFabricWorker(eba.WorkerConfig{
 		Coordinator:    coordURL,
 		ID:             id,
 		Parallelism:    parallel,
 		RequestTimeout: timeout,
+		Cache:          store,
+		Fingerprint:    eba.CacheFingerprint(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -181,7 +257,7 @@ func openOut(path string) (io.Writer, func() error, error) {
 // one representative per agent-permutation orbit BEFORE striding, so the
 // stripes partition the representative enumeration and each outcome
 // record carries its orbit size as a multiplicity.
-func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, spec, quotient bool) error {
+func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, spec, quotient bool, store eba.ResultCache) error {
 	if err := shard.Validate(); err != nil {
 		return err
 	}
@@ -200,6 +276,9 @@ func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, para
 	if spec {
 		opts = append(opts, eba.WithSpecCheck(eba.SpecOptions{RoundBound: stack.Horizon(), ValidityAllAgents: true}))
 	}
+	if store != nil {
+		opts = append(opts, eba.WithResultCache(store, eba.CacheFingerprint()))
+	}
 	w, closeOut, err := openOut(out)
 	if err != nil {
 		return err
@@ -211,13 +290,18 @@ func runStripe(stackName string, n, t int, shard eba.ShardSpec, out string, para
 	if err != nil {
 		return err
 	}
+	cacheNote := ""
+	if store != nil {
+		// The CI warm-cache smoke greps executed=0 off this line.
+		cacheNote = fmt.Sprintf(" (executed=%d hits=%d)", sum.Executed, sum.CacheHits)
+	}
 	if sum.Weighted != sum.Records {
-		fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs standing for %d, digest %s\n",
-			shard.String(), stack.Name, n, t, sum.Records, sum.Weighted, sum.Digest)
+		fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs standing for %d, digest %s%s\n",
+			shard.String(), stack.Name, n, t, sum.Records, sum.Weighted, sum.Digest, cacheNote)
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs, digest %s\n",
-		shard.String(), stack.Name, n, t, sum.Records, sum.Digest)
+	fmt.Fprintf(os.Stderr, "ebashard: shard %s of %s n=%d t=%d: %d runs, digest %s%s\n",
+		shard.String(), stack.Name, n, t, sum.Records, sum.Digest, cacheNote)
 	return nil
 }
 
@@ -259,7 +343,7 @@ func mergeStreams(paths []string, out string) error {
 // writes the partial epistemic index. With quotient, the stripe holds
 // orbit representatives with their multiplicities; -check -merge expands
 // the merged system back to the full sweep before writing verdicts.
-func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, quotient bool) error {
+func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, parallel int, quotient bool, store eba.ResultCache) error {
 	if err := shard.Validate(); err != nil {
 		return err
 	}
@@ -270,6 +354,9 @@ func buildIndex(stackName string, n, t int, shard eba.ShardSpec, out string, par
 	opts := []eba.CheckOption{eba.WithCheckParallelism(parallel)}
 	if quotient {
 		opts = append(opts, eba.WithCheckQuotient())
+	}
+	if store != nil {
+		opts = append(opts, eba.WithCheckCache(store, eba.CacheFingerprint()))
 	}
 	idx, err := eba.BuildShardIndex(context.Background(), stack, shard.Index, shard.Count, opts...)
 	if err != nil {

@@ -1,0 +1,39 @@
+package cache
+
+import "runtime/debug"
+
+// Fingerprint identifies the executing code for cache-key derivation:
+// the VCS revision stamped into the build (suffixed "+dirty" when the
+// tree was modified), else the main module's version, else
+// "unversioned". It is one input of core.Stack.VersionDigest, so two
+// binaries built from different revisions never share cache entries.
+//
+// Builds without embedded build info (some `go test` binaries, stripped
+// builds) all report "unversioned" and therefore share an identity;
+// callers that need a harder boundary pass their own fingerprint.
+func Fingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unversioned"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if dirty {
+			return rev + "+dirty"
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "unversioned"
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package cache
+
+import "os"
+
+// mapFile on platforms without a read-only mmap: always decline, reads
+// fall back to ReadAt on the open handle.
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, nil }
+
+func unmapFile(data []byte) {}

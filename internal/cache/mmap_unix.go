@@ -1,0 +1,28 @@
+//go:build unix
+
+package cache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. A nil mapping with a nil error means
+// the platform or file declined; reads fall back to ReadAt on the open
+// handle.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) {
+	if data != nil {
+		syscall.Munmap(data)
+	}
+}

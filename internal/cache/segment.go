@@ -1,0 +1,99 @@
+// The on-disk segment format: an append-only log of digested records.
+//
+// A segment starts with a magic line and carries length-prefixed records,
+// each sealing its (key, value) pair with a SHA-256 digest over both — a
+// record copied under another key, or a value flipped on disk, fails
+// verification instead of being served. Segments are written to a .tmp
+// file and renamed into place only when sealed, so a crashed writer
+// leaves a quarantinable temp file, never a trusted torn segment.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+const (
+	segMagic = "ebacache1\n"
+	// recHeadLen prefixes every record: two little-endian uint32 lengths
+	// (key, value).
+	recHeadLen = 8
+	sumLen     = sha256.Size
+
+	// maxKeyLen and maxValLen bound what a record may declare; a header
+	// outside these bounds marks a corrupt segment, not a huge record.
+	maxKeyLen = 1 << 10
+	maxValLen = 1 << 30
+)
+
+// segRecord is one decoded record: the key, the value's position within
+// the segment image, and the stored digest.
+type segRecord struct {
+	key  string
+	off  int64 // value offset within the segment
+	vlen int
+	sum  [sha256.Size]byte
+}
+
+// recordSum is the integrity digest stored with every record: SHA-256
+// over key then value, binding the value to the key it was stored under.
+func recordSum(key string, val []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write(val)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// appendRecord encodes one record onto buf.
+func appendRecord(buf []byte, key string, val []byte, sum [sha256.Size]byte) []byte {
+	var head [recHeadLen]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(head[4:8], uint32(len(val)))
+	buf = append(buf, head[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	buf = append(buf, sum[:]...)
+	return buf
+}
+
+// scanSegment parses a sealed segment image: the magic line, then
+// records until the image ends exactly at a record boundary. Every
+// record's digest is recomputed and verified. Any malformation — bad
+// magic, an impossible length, a truncated tail, a digest mismatch — is
+// an error; the caller quarantines the whole segment (verify-on-open).
+func scanSegment(data []byte) ([]segRecord, error) {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("cache: segment lacks the %q magic", strings.TrimSpace(segMagic))
+	}
+	var recs []segRecord
+	off := int64(len(segMagic))
+	for off < int64(len(data)) {
+		if int64(len(data))-off < recHeadLen {
+			return nil, fmt.Errorf("cache: truncated record header at offset %d", off)
+		}
+		klen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		vlen := int64(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		if klen == 0 || klen > maxKeyLen || vlen > maxValLen {
+			return nil, fmt.Errorf("cache: record at offset %d declares a %d-byte key and %d-byte value", off, klen, vlen)
+		}
+		off += recHeadLen
+		if int64(len(data))-off < klen+vlen+sumLen {
+			return nil, fmt.Errorf("cache: truncated record at offset %d", off)
+		}
+		key := string(data[off : off+klen])
+		off += klen
+		val := data[off : off+vlen]
+		var sum [sha256.Size]byte
+		copy(sum[:], data[off+vlen:off+vlen+int64(sumLen)])
+		if recordSum(key, val) != sum {
+			return nil, fmt.Errorf("cache: record %q at offset %d fails digest verification", key, off)
+		}
+		recs = append(recs, segRecord{key: key, off: off, vlen: int(vlen), sum: sum})
+		off += vlen + int64(sumLen)
+	}
+	return recs, nil
+}

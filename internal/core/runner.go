@@ -27,6 +27,8 @@ type Runner struct {
 	parallelism int
 	specOpts    *spec.Options
 	bufferReuse bool
+	cache       ResultCache
+	fingerprint string
 }
 
 // RunnerOption configures NewRunner.
@@ -70,12 +72,31 @@ func WithBufferReuse() RunnerOption {
 	return func(r *Runner) { r.bufferReuse = true }
 }
 
+// WithResultCache consults the cache before every execution: a hit
+// restores the run without executing, a miss executes and stores the
+// outcome. The fingerprint identifies the executing code (usually
+// internal/cache.Fingerprint()) and is folded into the cache key
+// together with the stack's full semantic identity, so a different
+// build, protocol, or configuration can never be served a stale entry.
+// Spec checking is unaffected: hits are judged exactly like fresh runs.
+func WithResultCache(c ResultCache, fingerprint string) RunnerOption {
+	return func(r *Runner) {
+		r.cache = c
+		r.fingerprint = fingerprint
+	}
+}
+
 // NewRunner returns a Runner for the stack. With no options it runs
 // scenarios one at a time on the sequential engine.
 func NewRunner(stack Stack, opts ...RunnerOption) *Runner {
 	r := &Runner{stack: stack, exec: engine.Sequential{}, parallelism: 1}
 	for _, opt := range opts {
 		opt(r)
+	}
+	// The cache wraps whatever substrate the options chose, so it
+	// composes with WithExecutor in either option order.
+	if r.cache != nil {
+		r.exec = NewCachingExecutor(r.exec, r.cache, r.stack.VersionDigest(r.fingerprint))
 	}
 	return r
 }

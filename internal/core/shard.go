@@ -262,6 +262,14 @@ type ShardSummary struct {
 	Weighted int64
 	// Digest is the chained digest over the stripe's records.
 	Digest string
+	// Executed is the number of records actually executed; CacheHits the
+	// number restored from the result cache (WithResultCache). Without a
+	// cache Executed equals Records and CacheHits is 0. Stream verifiers
+	// (VerifyOutcomeStream) leave both zero — the stream does not record
+	// how its runs were obtained, because it could not matter: hits are
+	// bit-identical to executions.
+	Executed  int64
+	CacheHits int64
 }
 
 // RunShard executes stripe shardIndex of shardCount of the source's sweep
@@ -301,6 +309,11 @@ func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCoun
 
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	cachingExec, _ := r.exec.(*CachingExecutor)
+	var countersBefore CacheCounters
+	if cachingExec != nil {
+		countersBefore = cachingExec.Counters()
+	}
 	var chain digestChain
 	var records, weighted int64
 	for oc := range r.StreamFrom(ctx, stripe) {
@@ -335,7 +348,13 @@ func (r *Runner) RunShard(ctx context.Context, src Source, shardIndex, shardCoun
 	if err := bw.Flush(); err != nil {
 		return nil, fmt.Errorf("core: shard %d/%d: flushing stream: %w", shardIndex, shardCount, err)
 	}
-	return &ShardSummary{Header: hdr, Records: records, Weighted: weighted, Digest: foot.Digest}, nil
+	sum := &ShardSummary{Header: hdr, Records: records, Weighted: weighted, Digest: foot.Digest, Executed: records}
+	if cachingExec != nil {
+		delta := cachingExec.Counters()
+		sum.CacheHits = delta.Hits - countersBefore.Hits
+		sum.Executed = delta.Misses - countersBefore.Misses
+	}
+	return sum, nil
 }
 
 // --- reading: OutcomeReader ----------------------------------------------

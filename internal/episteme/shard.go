@@ -21,6 +21,7 @@
 package episteme
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -108,6 +109,26 @@ func BuildShardIndex(ctx context.Context, c Context, act model.ActionProtocol, s
 	o := newOptions(opts)
 	n := c.Exchange.N()
 	horizon := c.horizonOrDefault()
+	// Index-level cache: the whole stripe, keyed by the stack version and
+	// the stripe parameters. Per-scenario "sys" entries make a warm build
+	// skip execution, but probing them still enumerates — and for
+	// quotiented sweeps canonicalizes — every scenario, which dominates
+	// once execution is cached. A hit here returns the verified
+	// WriteShardIndex serialization without enumerating at all; its
+	// decode round-trips to identical bytes (the digest identity the
+	// fabric's duplicate resolution already relies on), so warm indexes
+	// stay bit-identical to cold ones.
+	var idxKey string
+	if o.cache != nil {
+		version := cacheStack(c, act, n, horizon).VersionDigest(o.fingerprint)
+		idxKey = shardIndexCacheKey(version, shardIndex, shardCount, o.quotient)
+		if payload, ok := o.cache.Get(idxKey); ok {
+			if idx, err := decodeCachedIndex(payload, shardIndex, shardCount, n, c.T, horizon, o.quotient); err == nil {
+				return idx, nil
+			}
+			// Corrupt or misfiled: rebuild below and overwrite.
+		}
+	}
 	src, err := c.scenarioSource(n, horizon)
 	if err != nil {
 		return nil, err
@@ -126,7 +147,50 @@ func BuildShardIndex(ctx context.Context, c Context, act model.ActionProtocol, s
 	if err != nil {
 		return nil, err
 	}
-	return exportShardIndex(sys, shardIndex, shardCount), nil
+	idx := exportShardIndex(sys, shardIndex, shardCount)
+	if o.cache != nil {
+		// Best-effort, like every cache store: a full disk or unreachable
+		// server never fails the build.
+		var buf bytes.Buffer
+		if err := WriteShardIndex(&buf, idx); err == nil {
+			o.cache.Put(idxKey, buf.Bytes())
+		}
+	}
+	return idx, nil
+}
+
+// shardIndexCacheKey derives the cache key of a whole stripe index: the
+// version digest pins the stack (exchange, action, n, t, horizon, build
+// fingerprint), so the digest slot only needs the enumeration parameters
+// that vary under one stack — the stripe and whether the sweep is
+// quotiented.
+func shardIndexCacheKey(version string, shardIndex, shardCount int, quotient bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "shard=%d/%d|quotient=%v", shardIndex, shardCount, quotient)
+	sum := h.Sum(nil)
+	return core.CacheKey(version, core.CacheKindIndex, hex.EncodeToString(sum[:16]))
+}
+
+// decodeCachedIndex decodes and vets a cached stripe index. Beyond the
+// store's digest verification, the index must restate the build being
+// answered — shard, split, shape, quotienting — and pass the same
+// Validate the fabric applies at its trust boundary; anything else is
+// an error the caller treats as a miss.
+func decodeCachedIndex(payload []byte, shardIndex, shardCount, n, t, horizon int, quotient bool) (*ShardIndex, error) {
+	idx, err := ReadShardIndex(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	if idx.Shard != shardIndex || idx.Shards != shardCount ||
+		idx.N != n || idx.T != t || idx.Horizon != horizon || idx.Quotient != quotient {
+		return nil, fmt.Errorf("episteme: cached index answers shard %d/%d (n=%d,t=%d,h=%d,quotient=%v), asked for %d/%d (n=%d,t=%d,h=%d,quotient=%v)",
+			idx.Shard, idx.Shards, idx.N, idx.T, idx.Horizon, idx.Quotient,
+			shardIndex, shardCount, n, t, horizon, quotient)
+	}
+	if err := idx.Validate(); err != nil {
+		return nil, err
+	}
+	return idx, nil
 }
 
 // exportShardIndex reduces a stripe's System to its serializable partial

@@ -56,8 +56,10 @@ import (
 type Option func(*options)
 
 type options struct {
-	par      int
-	quotient bool
+	par         int
+	quotient    bool
+	cache       core.ResultCache
+	fingerprint string
 }
 
 // WithParallelism sets the worker count used to execute runs, build the
@@ -82,6 +84,22 @@ func WithParallelism(k int) Option {
 // asymmetry in the enumeration).
 func WithQuotient() Option {
 	return func(o *options) { o.quotient = true }
+}
+
+// WithCache consults a result cache before executing each run and
+// stores what it executed, keyed by the stack's full semantic identity
+// (exchange, action protocol, n, t, horizon, build fingerprint — see
+// core.Stack.VersionDigest) and the scenario. A cached build assembles
+// the system from decision ledgers plus interned state keys, exactly as
+// MergeSystems assembles a sharded one, so every verdict is
+// bit-identical to the uncached build's — but, like a merged System, it
+// carries no state traces (System.State is unavailable; Key and every
+// checker work off the interned index).
+func WithCache(c core.ResultCache, fingerprint string) Option {
+	return func(o *options) {
+		o.cache = c
+		o.fingerprint = fingerprint
+	}
 }
 
 func newOptions(opts []Option) options {
@@ -312,6 +330,9 @@ func BuildSystem(ctx context.Context, c Context, act model.ActionProtocol, opts 
 // scenario source — the whole sweep for BuildSystem, one deterministic
 // stripe of it for BuildShardIndex — and indexes the local states.
 func buildSystemFromSource(ctx context.Context, c Context, act model.ActionProtocol, src core.Source, o options) (*System, error) {
+	if o.cache != nil {
+		return buildSystemCached(ctx, c, act, src, o)
+	}
 	n := c.Exchange.N()
 	horizon := c.horizonOrDefault()
 	stack := core.Stack{

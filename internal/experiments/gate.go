@@ -22,6 +22,13 @@ const AllocGrowthLimit = 1.25
 // baseline (2×) — deliberately loose, CI wall time is noisy.
 const SecondsGrowthLimit = 2.0
 
+// WarmColdLimit is the largest fraction of its own cold build a
+// warm-cache entry's build_seconds may take (warm ≤ 0.25 × cold). The
+// ratio is within one record — both sides ran on the same machine in
+// the same process — so unlike raw wall time it is noise-robust and
+// gated strictly.
+const WarmColdLimit = 0.25
+
 // GateBench diffs a freshly measured perf record against the committed
 // record of the same kind (both as raw JSON) and returns one line per
 // regression; empty means the gate passes. The record kind — engine
@@ -139,10 +146,18 @@ func gateEpisteme(baseline, current []byte) ([]string, error) {
 			violations = append(violations,
 				fmt.Sprintf("episteme %s: %d implementation mismatches (theorems must machine-check)", b.Name, c.Mismatches))
 		}
-		if b.BuildSeconds > 0 && c.BuildSeconds > b.BuildSeconds*SecondsGrowthLimit {
+		// Warm-cache entries are gated on their within-record warm/cold
+		// ratio below, not on absolute warm wall time (a sub-second warm
+		// build can double on a noisy runner without meaning anything);
+		// their cold build takes the absolute check instead.
+		buildRef, buildCur := b.BuildSeconds, c.BuildSeconds
+		if b.ColdBuildSeconds > 0 {
+			buildRef, buildCur = b.ColdBuildSeconds, c.ColdBuildSeconds
+		}
+		if buildRef > 0 && buildCur > buildRef*SecondsGrowthLimit {
 			violations = append(violations,
 				fmt.Sprintf("episteme %s: build_seconds %.4f exceeds baseline %.4f by more than %.0f×",
-					b.Name, c.BuildSeconds, b.BuildSeconds, SecondsGrowthLimit))
+					b.Name, buildCur, buildRef, SecondsGrowthLimit))
 		}
 		if b.Runs > 0 && c.Runs != b.Runs {
 			violations = append(violations,
@@ -153,6 +168,17 @@ func gateEpisteme(baseline, current []byte) ([]string, error) {
 			violations = append(violations,
 				fmt.Sprintf("episteme %s: %d orbit representatives, baseline enumerated %d (the symmetry quotient changed shape)",
 					b.Name, c.RepRuns, b.RepRuns))
+		}
+		if b.ColdBuildSeconds > 0 {
+			switch {
+			case c.ColdBuildSeconds <= 0:
+				violations = append(violations,
+					fmt.Sprintf("episteme %s: entry no longer measures a cold build (the warm-cache workload was dropped)", b.Name))
+			case c.BuildSeconds > c.ColdBuildSeconds*WarmColdLimit:
+				violations = append(violations,
+					fmt.Sprintf("episteme %s: warm build_seconds %.4f exceeds %.0f%% of its cold build %.4f (the result cache stopped paying)",
+						b.Name, c.BuildSeconds, WarmColdLimit*100, c.ColdBuildSeconds))
+			}
 		}
 	}
 	return violations, nil

@@ -124,3 +124,39 @@ func TestGateEngineZeroAllocBaselineStaysCovered(t *testing.T) {
 		t.Fatalf("gate on a regressed zero-alloc entry = %v, want one violation", vs)
 	}
 }
+
+const epistemeWarmBase = `{
+  "entries": [
+    {"name": "fip_n5_t1_quotient_warm", "n": 5, "t": 1, "quotient": true,
+     "runs": 7758, "rep_runs": 7758, "build_seconds": 0.5,
+     "cold_build_seconds": 4.0, "check_implements_seconds": 0, "mismatches": 0}
+  ]
+}`
+
+// TestGateEpistemeWarmCold pins the warm-cache ratio gate: the ratio is
+// taken within the CURRENT record (same machine, same process), so a
+// warm build past WarmColdLimit of its own cold build fails regardless
+// of absolute wall time, and dropping the cold measurement fails too.
+func TestGateEpistemeWarmCold(t *testing.T) {
+	// Within the limit: warm 0.9s of cold 4.1s (~22%) passes even though
+	// the warm time grew against the baseline's (wall noise is fine).
+	curr := strings.Replace(epistemeWarmBase, `"build_seconds": 0.5`, `"build_seconds": 0.9`, 1)
+	curr = strings.Replace(curr, `"cold_build_seconds": 4.0`, `"cold_build_seconds": 4.1`, 1)
+	if vs := gate(t, epistemeWarmBase, curr); len(vs) != 0 {
+		t.Fatalf("gate flagged a within-limit warm/cold ratio: %v", vs)
+	}
+
+	// Past the limit: warm 2.0s of cold 4.0s (50%).
+	curr = strings.Replace(epistemeWarmBase, `"build_seconds": 0.5`, `"build_seconds": 2.0`, 1)
+	vs := gate(t, epistemeWarmBase, curr)
+	if len(vs) != 1 || !strings.Contains(vs[0], "cold build") {
+		t.Fatalf("gate on a 50%% warm/cold ratio = %v, want one warm-cache violation", vs)
+	}
+
+	// Dropping the cold measurement silently un-gates the cache: flagged.
+	curr = strings.Replace(epistemeWarmBase, `"cold_build_seconds": 4.0, `, ``, 1)
+	vs = gate(t, epistemeWarmBase, curr)
+	if len(vs) != 1 || !strings.Contains(vs[0], "no longer measures a cold build") {
+		t.Fatalf("gate on a dropped cold measurement = %v, want one violation", vs)
+	}
+}

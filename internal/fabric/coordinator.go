@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	rescache "repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/episteme"
 )
@@ -38,6 +39,10 @@ type CoordinatorConfig struct {
 	Parallelism int
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// CacheStore, when set, is served under /cache/ as a shared result
+	// cache for the fleet (workers point -cache-url at it); its traffic
+	// shows up in StatusReport.Cache.
+	CacheStore rescache.Store
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -56,6 +61,7 @@ type Coordinator struct {
 	now     func() time.Time
 	table   *leaseTable
 	wake    chan struct{}
+	cstore  rescache.Store
 
 	mu            sync.Mutex
 	phase         string
@@ -70,6 +76,7 @@ type workerStats struct {
 	stripes     int
 	records     int64
 	first, last time.Time
+	cache       *CacheReport // last-heartbeated cache counters, nil if none
 }
 
 // NewCoordinator validates the job, prepares the spool directory, and
@@ -107,6 +114,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		now:     cfg.now,
 		table:   newLeaseTable(cfg.Job.Stripes, cfg.LeaseTTL, cfg.now),
 		wake:    make(chan struct{}, 1),
+		cstore:  cfg.CacheStore,
 		phase:   PhaseRunning,
 		workers: make(map[string]*workerStats),
 	}
@@ -217,6 +225,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/result/", c.handleResult)
 	mux.HandleFunc("/status", c.handleStatus)
 	mux.HandleFunc("/merged", c.handleMerged)
+	if c.cstore != nil {
+		mux.Handle("/cache/", http.StripPrefix("/cache", rescache.NewServer(c.cstore)))
+	}
 	return mux
 }
 
@@ -294,6 +305,14 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.touchWorker(req.Worker)
+	if req.Cache != nil {
+		snap := *req.Cache
+		c.mu.Lock()
+		if ws := c.workers[req.Worker]; ws != nil {
+			ws.cache = &snap
+		}
+		c.mu.Unlock()
+	}
 	if !c.table.heartbeat(req.Worker, req.Stripe) {
 		http.Error(w, "lease lost", http.StatusConflict)
 		return
@@ -484,7 +503,21 @@ func (c *Coordinator) Status() StatusReport {
 			if window := ws.last.Sub(ws.first); window > 0 && ws.records > 0 {
 				wr.RecordsPerSecond = float64(ws.records) / window.Seconds()
 			}
+			if ws.cache != nil {
+				snap := *ws.cache
+				wr.Cache = &snap
+			}
 			rep.Workers[id] = wr
+		}
+	}
+	if c.cstore != nil {
+		st := c.cstore.Stats()
+		rep.Cache = &CacheReport{
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			Puts:         st.Puts,
+			BytesServed:  st.BytesServed,
+			BytesWritten: st.BytesWritten,
 		}
 	}
 	return rep

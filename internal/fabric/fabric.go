@@ -165,10 +165,25 @@ type LeaseGrant struct {
 	TTLMillis int64 `json:"ttlMillis"`
 }
 
-// HeartbeatRequest renews a lease mid-stripe.
+// CacheReport snapshots one side's result-cache traffic: a worker's
+// local/tiered cache in heartbeats, the coordinator-hosted shared store
+// in StatusReport.
+type CacheReport struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Puts         int64 `json:"puts"`
+	BytesServed  int64 `json:"bytesServed"`
+	BytesWritten int64 `json:"bytesWritten"`
+}
+
+// HeartbeatRequest renews a lease mid-stripe. Cache, when the worker
+// runs one, carries its current result-cache counters — heartbeats are
+// re-marshaled every tick, so the coordinator's status always shows the
+// latest snapshot.
 type HeartbeatRequest struct {
-	Worker string `json:"worker"`
-	Stripe int    `json:"stripe"`
+	Worker string       `json:"worker"`
+	Stripe int          `json:"stripe"`
+	Cache  *CacheReport `json:"cache,omitempty"`
 }
 
 // ResultAck acknowledges an accepted stripe upload.
@@ -232,6 +247,9 @@ type WorkerReport struct {
 	RecordsPerSecond float64 `json:"recordsPerSecond"`
 	// IdleMillis is the time since the worker was last heard from.
 	IdleMillis int64 `json:"idleMillis"`
+	// Cache is the worker's last-reported result-cache counters (absent
+	// when the worker runs without a cache).
+	Cache *CacheReport `json:"cache,omitempty"`
 }
 
 // StatusReport is the coordinator's JSON status: machine-readable for the
@@ -249,4 +267,7 @@ type StatusReport struct {
 	// Error carries the failure when Phase is "failed" (or the verdict
 	// failure of a complete check job).
 	Error string `json:"error,omitempty"`
+	// Cache reports the coordinator-hosted shared cache store's traffic
+	// (absent when the coordinator hosts none).
+	Cache *CacheReport `json:"cache,omitempty"`
 }

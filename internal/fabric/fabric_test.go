@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	rescache "repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/episteme"
 )
@@ -614,5 +615,196 @@ func TestJobSpecValidate(t *testing.T) {
 	}
 	if s := testJob(4).String(); !strings.Contains(s, "min") || !strings.Contains(s, "4") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+// --- result cache ---------------------------------------------------------
+
+// newCacheCoordinator is newTestCoordinator with a hosted shared cache
+// store mounted under /cache/.
+func newCacheCoordinator(t *testing.T, job JobSpec, store rescache.Store) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := NewCoordinator(CoordinatorConfig{
+		Job:        job,
+		SpoolDir:   t.TempDir(),
+		LeaseTTL:   2 * time.Second,
+		Logf:       t.Logf,
+		CacheStore: store,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+// runCachedWorkers runs n workers whose result cache is a client of the
+// coordinator-hosted shared store.
+func runCachedWorkers(t *testing.T, ctx context.Context, url, fingerprint string, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(WorkerConfig{
+			Coordinator:  url,
+			ID:           fmt.Sprintf("cw%d", i),
+			PollInterval: 20 * time.Millisecond,
+			BaseBackoff:  5 * time.Millisecond,
+			Logf:         t.Logf,
+			Cache:        rescache.NewClient(url + "/cache"),
+			Fingerprint:  fingerprint,
+		})
+		if err != nil {
+			t.Fatalf("NewWorker: %v", err)
+		}
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			_, errs[i] = w.Run(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("cached worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestFabricSharedCache runs one sweep job twice against a single
+// coordinator-hosted shared cache store: the first fleet fills it, the
+// second answers from it, and both merged streams are byte-identical to
+// the single-process reference. The hosted store's traffic shows up in
+// the coordinator's status report.
+func TestFabricSharedCache(t *testing.T) {
+	job := testJob(4)
+	want := singleSweepStream(t, job)
+	store, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("cache.Open: %v", err)
+	}
+	defer store.Close()
+
+	var merged [2][]byte
+	for round, label := range []string{"cold", "warm"} {
+		c, srv := newCacheCoordinator(t, job, store)
+		runErr := make(chan error, 1)
+		go func() { runErr <- c.Run(context.Background()) }()
+		runCachedWorkers(t, context.Background(), srv.URL, "fp", 2)
+		if err := <-runErr; err != nil {
+			t.Fatalf("%s coordinator Run: %v", label, err)
+		}
+		merged[round], err = os.ReadFile(c.MergedPath())
+		if err != nil {
+			t.Fatalf("reading %s merged stream: %v", label, err)
+		}
+		if !bytes.Equal(merged[round], want) {
+			t.Fatalf("%s fabric-merged stream differs from the single-process stream", label)
+		}
+		rep := c.Status()
+		if rep.Cache == nil {
+			t.Fatalf("%s status reports no hosted cache", label)
+		}
+		if round == 0 && rep.Cache.Puts == 0 {
+			t.Fatal("cold fleet stored nothing in the shared cache")
+		}
+		if round == 1 && rep.Cache.Hits == 0 {
+			t.Fatal("warm fleet hit nothing in the shared cache")
+		}
+	}
+	if !bytes.Equal(merged[0], merged[1]) {
+		t.Fatal("cold and warm merged streams differ")
+	}
+	if st := store.Stats(); st.Hits == 0 || st.Puts == 0 {
+		t.Fatalf("shared store stats = %+v; want both puts and hits", st)
+	}
+}
+
+// TestFabricSharedCacheCheckJob runs the same warm/cold equivalence for
+// a distributed model check: cached verdicts match the uncached fleet's.
+func TestFabricSharedCacheCheckJob(t *testing.T) {
+	job := JobSpec{Kind: CheckJob, Stack: "min", N: 3, T: 1, Stripes: 2}
+
+	// Uncached reference fleet.
+	ref, refSrv := newTestCoordinator(t, job, 2*time.Second)
+	runErr := make(chan error, 1)
+	go func() { runErr <- ref.Run(context.Background()) }()
+	runWorkers(t, context.Background(), refSrv.URL, 2)
+	if err := <-runErr; err != nil {
+		t.Fatalf("reference coordinator Run: %v", err)
+	}
+	want, err := os.ReadFile(ref.MergedPath())
+	if err != nil {
+		t.Fatalf("reading reference verdicts: %v", err)
+	}
+
+	store, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("cache.Open: %v", err)
+	}
+	defer store.Close()
+	for _, label := range []string{"cold", "warm"} {
+		c, srv := newCacheCoordinator(t, job, store)
+		go func() { runErr <- c.Run(context.Background()) }()
+		runCachedWorkers(t, context.Background(), srv.URL, "fp", 2)
+		if err := <-runErr; err != nil {
+			t.Fatalf("%s coordinator Run: %v", label, err)
+		}
+		got, err := os.ReadFile(c.MergedPath())
+		if err != nil {
+			t.Fatalf("reading %s verdicts: %v", label, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s cached fleet verdicts differ from the uncached fleet's", label)
+		}
+	}
+	if st := store.Stats(); st.Hits == 0 {
+		t.Fatalf("shared store stats = %+v; warm check job hit nothing", st)
+	}
+}
+
+// TestHeartbeatCarriesCacheReport pins the status plumbing: a heartbeat
+// with cache counters lands in the worker's status row; one without
+// leaves the last report standing.
+func TestHeartbeatCarriesCacheReport(t *testing.T) {
+	c, srv := newTestCoordinator(t, testJob(2), time.Minute)
+	grant, status := leaseStripe(t, srv.URL, "wx")
+	if status != http.StatusOK {
+		t.Fatalf("lease status = %d", status)
+	}
+
+	beat := func(req HeartbeatRequest) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/heartbeat", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /heartbeat: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("heartbeat status = %d", resp.StatusCode)
+		}
+	}
+
+	beat(HeartbeatRequest{Worker: "wx", Stripe: grant.Stripe,
+		Cache: &CacheReport{Hits: 7, Misses: 3, Puts: 3, BytesServed: 700, BytesWritten: 300}})
+	rep := c.Status()
+	wr, ok := rep.Workers["wx"]
+	if !ok || wr.Cache == nil {
+		t.Fatalf("status = %+v; worker wx has no cache report", rep.Workers)
+	}
+	if wr.Cache.Hits != 7 || wr.Cache.Misses != 3 || wr.Cache.BytesServed != 700 {
+		t.Fatalf("worker cache report = %+v", wr.Cache)
+	}
+	if rep.Cache != nil {
+		t.Fatal("coordinator hosts no store but reports cache traffic")
+	}
+
+	// A cache-less heartbeat must not erase the last report.
+	beat(HeartbeatRequest{Worker: "wx", Stripe: grant.Stripe})
+	if wr := c.Status().Workers["wx"]; wr.Cache == nil || wr.Cache.Hits != 7 {
+		t.Fatalf("cache report after plain heartbeat = %+v; want the last snapshot kept", wr.Cache)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	rescache "repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/episteme"
 	"repro/internal/spec"
@@ -51,6 +52,15 @@ type WorkerConfig struct {
 	Client *http.Client
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Cache, when set, is consulted before every run and fed every
+	// execution (core.WithResultCache / episteme.WithCache): a warmed
+	// worker answers repeat stripes without executing. Fingerprint is the
+	// code identity folded into the cache keys (internal/cache.Fingerprint
+	// in the CLIs). If the store also implements internal/cache's
+	// Stats() (its Cache, Client, and Tiered all do), the worker reports
+	// its counters in every heartbeat.
+	Cache       core.ResultCache
+	Fingerprint string
 }
 
 // Worker runs stripes for one coordinator until the job is done, the
@@ -66,6 +76,8 @@ type Worker struct {
 	poll       time.Duration
 	client     *http.Client
 	logf       func(string, ...any)
+	cache      core.ResultCache
+	fprint     string
 
 	drainOnce sync.Once
 	drainCh   chan struct{}
@@ -134,8 +146,27 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		poll:       cfg.PollInterval,
 		client:     cfg.Client,
 		logf:       cfg.Logf,
+		cache:      cfg.Cache,
+		fprint:     cfg.Fingerprint,
 		drainCh:    make(chan struct{}),
 	}, nil
+}
+
+// cacheReport snapshots the worker's cache counters for a heartbeat,
+// nil when the worker has no cache or the store reports no stats.
+func (w *Worker) cacheReport() *CacheReport {
+	statser, ok := w.cache.(interface{ Stats() rescache.Stats })
+	if !ok {
+		return nil
+	}
+	st := statser.Stats()
+	return &CacheReport{
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Puts:         st.Puts,
+		BytesServed:  st.BytesServed,
+		BytesWritten: st.BytesWritten,
+	}
 }
 
 // ID returns the worker's identity as the coordinator sees it.
@@ -180,6 +211,9 @@ func (w *Worker) Run(ctx context.Context) (*WorkerSummary, error) {
 		opts := []core.RunnerOption{core.WithParallelism(w.par), core.WithBufferReuse()}
 		if job.SpecCheck {
 			opts = append(opts, core.WithSpecCheck(spec.Options{RoundBound: st.Horizon(), ValidityAllAgents: true}))
+		}
+		if w.cache != nil {
+			opts = append(opts, core.WithResultCache(w.cache, w.fprint))
 		}
 		runner = core.NewRunner(st, opts...)
 	}
@@ -306,8 +340,12 @@ func (w *Worker) runStripe(ctx context.Context, job JobSpec, st core.Stack, runn
 	var records int64
 	start := time.Now()
 	if job.Kind == CheckJob {
+		eopts := []episteme.Option{episteme.WithParallelism(w.par)}
+		if w.cache != nil {
+			eopts = append(eopts, episteme.WithCache(w.cache, w.fprint))
+		}
 		idx, err := episteme.BuildShardIndex(runCtx, episteme.ContextFor(st), st.Action,
-			grant.Stripe, grant.Stripes, episteme.WithParallelism(w.par))
+			grant.Stripe, grant.Stripes, eopts...)
 		if err != nil {
 			return nil, 0, runCause(runCtx, err)
 		}
@@ -355,13 +393,15 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFu
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	body, _ := json.Marshal(HeartbeatRequest{Worker: w.id, Stripe: grant.Stripe})
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		}
+		// Re-marshal every tick: the heartbeat carries the cache counters
+		// as they stand, not as they stood when the stripe started.
+		body, _ := json.Marshal(HeartbeatRequest{Worker: w.id, Stripe: grant.Stripe, Cache: w.cacheReport()})
 		status, _, err := w.doOnce(ctx, http.MethodPost, "/heartbeat", body, nil)
 		switch {
 		case err != nil:

@@ -62,6 +62,15 @@ func WithParallelism(k int) RunnerOption { return core.WithParallelism(k) }
 // Termination) with the given options.
 func WithSpecCheck(opts SpecOptions) RunnerOption { return core.WithSpecCheck(opts) }
 
+// WithResultCache makes the runner answer scenarios it has already
+// executed from the cache — same version fingerprint, same scenario —
+// and execute only the misses, with bit-identical batches and streams
+// at any hit/miss mix. Spec checking still judges cache hits: the
+// payload carries everything CheckRun reads.
+func WithResultCache(c ResultCache, fingerprint string) RunnerOption {
+	return core.WithResultCache(c, fingerprint)
+}
+
 // WithBufferReuse gives every batch worker a private arena-backed
 // scratch buffer reused across its runs, eliminating per-round
 // allocation on the batch hot path — including the exchanges' own

@@ -77,7 +77,8 @@ func run(args []string) error {
 		skipSlow  = fs.Bool("skip-slow", false, "skip the exhaustive model-checking experiments")
 		benchOut  = fs.String("bench-episteme", "", "measure the model checker's reference workloads and write the perf record to this JSON file (skips the experiment tables)")
 		engineOut = fs.String("bench-engine", "", "measure the engine's reference workloads with arenas off/on and write the perf record to this JSON file (skips the experiment tables)")
-		benchReps = fs.Int("bench-reps", 3, "repetitions per workload for -bench-episteme / -bench-engine (medians are reported)")
+		serveOut  = fs.String("bench-serve", "", "measure the serving layer's mixed-load throughput and write the perf record to this JSON file (skips the experiment tables)")
+		benchReps = fs.Int("bench-reps", 3, "repetitions per workload for -bench-episteme / -bench-engine / -bench-serve (medians are reported)")
 	)
 	var gates gatePairs
 	fs.Var(&gates, "gate", "bench-regression gate, as baseline.json:current.json (repeatable; skips everything else)")
@@ -93,6 +94,9 @@ func run(args []string) error {
 	}
 	if *engineOut != "" {
 		return benchEngine(*engineOut, *benchReps)
+	}
+	if *serveOut != "" {
+		return benchServe(*serveOut, *benchReps)
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallelism: *parallel, SkipSlow: *skipSlow}
@@ -183,6 +187,34 @@ func benchEngine(path string, reps int) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return bench.CheckAcceptance()
+}
+
+// benchServe measures the serving layer's mixed-load throughput against
+// in-process ebaserve instances and writes the perf-trajectory record.
+// Any verification failure in the load is an error here, not just a
+// gated number.
+func benchServe(path string, reps int) error {
+	fmt.Printf("benchmarking the serving layer (reps=%d)...\n", reps)
+	bench, err := experiments.BenchServe(reps)
+	if err != nil {
+		return err
+	}
+	for _, e := range bench.Entries {
+		if e.Errors != 0 {
+			return fmt.Errorf("%s: %d failed requests — served responses must verify", e.Name, e.Errors)
+		}
+		fmt.Printf("  %s: %d requests ×%d  %.0f req/s  p50=%.1fms p99=%.1fms  records=%d retries=%d\n",
+			e.Name, e.Requests, e.Concurrency, e.RequestsPerSecond, e.P50Millis, e.P99Millis, e.Records, e.Retried429)
+	}
+	data, err := bench.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // benchEpisteme measures the model checker's reference workloads and

@@ -1,0 +1,59 @@
+package eba_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repository's docs use
+// inline links only.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinks is the docs link check CI runs as part of lint: every
+// relative link in README.md and docs/*.md must point at a file that
+// exists, so the documentation cannot silently rot as files move. URLs
+// and pure-anchor links are skipped (anchor freshness is not checked —
+// only file existence).
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found — the documentation moved without updating this check")
+	}
+	files = append(files, docs...)
+
+	var broken []string
+	links := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			links++
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: link target %q does not exist", file, target))
+			}
+		}
+	}
+	if links == 0 {
+		t.Fatal("no relative links found at all — the link extraction regressed")
+	}
+	for _, b := range broken {
+		t.Error(b)
+	}
+}

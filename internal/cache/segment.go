@@ -6,6 +6,7 @@
 // verification instead of being served. Segments are written to a .tmp
 // file and renamed into place only when sealed, so a crashed writer
 // leaves a quarantinable temp file, never a trusted torn segment.
+
 package cache
 
 import (

@@ -4,6 +4,7 @@
 // cache in front of a shared one. Payloads are digest-verified on both
 // ends of both verbs — the digest header binds the payload to its full
 // key, so neither a torn transfer nor a misrouted entry is ever trusted.
+
 package cache
 
 import (

@@ -16,6 +16,7 @@
 // payload carries the per-round actions, so spec.CheckRun judges cache
 // hits exactly as it judges fresh runs, and spec options stay out of the
 // key.
+
 package core
 
 import (

@@ -9,6 +9,7 @@
 // — including the exchanges' own allocations. Because
 // every run is deterministic, parallel batches are bit-for-bit identical
 // to sequential ones — a property the tests enforce.
+
 package core
 
 import (

@@ -15,6 +15,7 @@
 // process writes with shardCount 1 — the invariant the CI
 // shard-equivalence smoke pins with cmp(1) — so sharding is a pure
 // throughput move: it can never change what a sweep observes.
+
 package core
 
 import (

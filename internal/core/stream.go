@@ -3,6 +3,7 @@
 // and randomized sweeps run at O(window) memory instead of materializing
 // a scenario slice. Stream and RunBatch are thin layers over the same
 // machinery.
+
 package core
 
 import (

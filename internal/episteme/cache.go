@@ -10,6 +10,7 @@
 // tables are re-interned from the slot keys in first-appearance-by-
 // global-run order, the order buildIndex assigns, so the cached build's
 // verdicts are bit-identical to the uncached one's at any hit/miss mix.
+
 package episteme
 
 import (

@@ -20,6 +20,7 @@
 // representative, rewritten under π⁻¹. Exchanges whose keys don't
 // implement KeyPermuter cannot expand — ExpandQuotient refuses rather
 // than producing silently wrong class structure.
+
 package episteme
 
 import (

@@ -18,6 +18,7 @@
 // global interning — the single-process build produces, and every verdict
 // (CheckImplements, CheckSafety, CheckOptimalityFIP) over the merged
 // System is bit-identical to the unsharded one.
+
 package episteme
 
 import (

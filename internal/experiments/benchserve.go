@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
+)
+
+// ServeBenchEntry is one measured serving workload: an in-process
+// ebaserve instance driven by the loadtest harness's deterministic
+// request mix (1 sweep stripe : 2 checks : 7 knowledge queries).
+type ServeBenchEntry struct {
+	// Name identifies the workload, e.g. "mixed_min_n3_t1".
+	Name string `json:"name"`
+	// Stack, N, T select the sweep the mix exercises.
+	Stack string `json:"stack"`
+	N     int    `json:"n"`
+	T     int    `json:"t"`
+	// Requests and Concurrency shape the load.
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+	// Errors must be 0: every response is verified (sweep streams end to
+	// end, verdict blocks for cross-request identity), so the benchmark
+	// doubles as a correctness check.
+	Errors int `json:"errors"`
+	// Retried429 counts admission bounces the harness absorbed.
+	Retried429 int64 `json:"retried_429"`
+	// Records totals the outcome records of the verified sweep streams —
+	// deterministic for a fixed mix, so a drift means the served sweep
+	// changed shape.
+	Records int64 `json:"records"`
+	// RequestsPerSecond is the gated throughput (median over reps);
+	// P50Millis/P99Millis describe the latency distribution.
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	P50Millis         float64 `json:"p50_millis"`
+	P99Millis         float64 `json:"p99_millis"`
+}
+
+// ServeBench is the perf record ebabench -bench-serve emits as
+// BENCH_serve.json: the serving layer's throughput on reference mixed
+// loads, gated in CI against the committed baseline.
+type ServeBench struct {
+	// GoMaxProcs is the worker budget the measurements ran with; Reps
+	// the repetitions the medians are taken over.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Reps       int `json:"reps"`
+	// Entries holds the measured workloads.
+	Entries []ServeBenchEntry `json:"entries"`
+}
+
+// MarshalIndent renders the record as committed-file JSON.
+func (b *ServeBench) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// BenchServe measures the serving layer end to end: for each reference
+// workload it starts a fresh in-process server on a loopback listener,
+// drives it with the loadtest mix, and reports the median throughput
+// over reps runs. The server is fresh per repetition after the first —
+// the System LRU stays hot within a workload, as it would in service.
+func BenchServe(reps int) (*ServeBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	bench := &ServeBench{GoMaxProcs: goruntime.GOMAXPROCS(0), Reps: reps}
+	workloads := []struct {
+		stack       string
+		n, t        int
+		requests    int
+		concurrency int
+	}{
+		{"min", 3, 1, 1000, 32},
+		{"fip", 3, 1, 600, 32},
+	}
+	for _, w := range workloads {
+		entry := ServeBenchEntry{
+			Name:        fmt.Sprintf("mixed_%s_n%d_t%d", w.stack, w.n, w.t),
+			Stack:       w.stack,
+			N:           w.n,
+			T:           w.t,
+			Requests:    w.requests,
+			Concurrency: w.concurrency,
+		}
+		rpss := make([]float64, 0, reps)
+		p50s := make([]float64, 0, reps)
+		p99s := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			sum, err := benchServeOnce(w.stack, w.n, w.t, w.requests, w.concurrency)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", entry.Name, err)
+			}
+			entry.Errors += sum.Errors
+			entry.Retried429 += sum.Retried429
+			entry.Records = sum.Records
+			rpss = append(rpss, sum.RequestsPerSecond)
+			p50s = append(p50s, sum.P50Millis)
+			p99s = append(p99s, sum.P99Millis)
+		}
+		entry.RequestsPerSecond = median(rpss)
+		entry.P50Millis = median(p50s)
+		entry.P99Millis = median(p99s)
+		bench.Entries = append(bench.Entries, entry)
+	}
+	return bench, nil
+}
+
+// benchServeOnce runs one serve-and-load repetition on a loopback
+// listener.
+func benchServeOnce(stack string, n, t, requests, concurrency int) (*loadtest.Summary, error) {
+	srv := serve.NewServer(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		<-serveErr
+	}()
+	return loadtest.Run(context.Background(), loadtest.Config{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Requests:    requests,
+		Concurrency: concurrency,
+		Stack:       stack,
+		N:           n,
+		T:           t,
+	})
+}

@@ -5,9 +5,9 @@ import (
 	"fmt"
 )
 
-// The bench-regression gate: CI regenerates BENCH_engine.ci.json and
-// BENCH_episteme.ci.json on every run and diffs them against the
-// committed BENCH_*.json baselines. The gate is strict where the
+// The bench-regression gate: CI regenerates BENCH_engine.ci.json,
+// BENCH_episteme.ci.json, and BENCH_serve.ci.json on every run and
+// diffs them against the committed BENCH_*.json baselines. The gate is strict where the
 // repository's perf work lives and tolerant where CI runners are noisy:
 // allocations per op are deterministic, so any growth beyond slack is a
 // real regression (the arena work of PR 4 is pinned here), while wall
@@ -32,8 +32,9 @@ const WarmColdLimit = 0.25
 // GateBench diffs a freshly measured perf record against the committed
 // record of the same kind (both as raw JSON) and returns one line per
 // regression; empty means the gate passes. The record kind — engine
-// (allocs_per_op entries) or episteme (build_seconds entries) — is
-// detected from the baseline's entry fields. Engine entries fail on
+// (allocs_per_op entries), episteme (build_seconds entries), or serve
+// (requests_per_second entries) — is detected from the baseline's entry
+// fields. Engine entries fail on
 // more than AllocGrowthLimit allocs_per_op growth, matched by (name,
 // arenas); wall time is not gated. Episteme entries fail on more than
 // SecondsGrowthLimit build_seconds growth or on any mismatches. An
@@ -55,6 +56,8 @@ func GateBench(baseline, current []byte) ([]string, error) {
 	switch kind {
 	case "engine":
 		return gateEngine(baseline, current)
+	case "serve":
+		return gateServe(baseline, current)
 	default:
 		return gateEpisteme(baseline, current)
 	}
@@ -78,7 +81,10 @@ func detectBenchKind(data []byte) (string, error) {
 	if _, ok := probe.Entries[0]["build_seconds"]; ok {
 		return "episteme", nil
 	}
-	return "", fmt.Errorf("perf record entries carry neither allocs_per_op nor build_seconds")
+	if _, ok := probe.Entries[0]["requests_per_second"]; ok {
+		return "serve", nil
+	}
+	return "", fmt.Errorf("perf record entries carry none of allocs_per_op, build_seconds, requests_per_second")
 }
 
 func gateEngine(baseline, current []byte) ([]string, error) {
@@ -179,6 +185,52 @@ func gateEpisteme(baseline, current []byte) ([]string, error) {
 					fmt.Sprintf("episteme %s: warm build_seconds %.4f exceeds %.0f%% of its cold build %.4f (the result cache stopped paying)",
 						b.Name, c.BuildSeconds, WarmColdLimit*100, c.ColdBuildSeconds))
 			}
+		}
+	}
+	return violations, nil
+}
+
+// gateServe diffs serving-layer records: every workload must run
+// error-free (responses are verified, so an error is a correctness
+// failure, not noise), its verified sweep records must match the
+// baseline exactly (the mix is deterministic — a drift means the served
+// stream changed shape), and throughput may degrade at most
+// SecondsGrowthLimit-fold (the same noise allowance wall time gets
+// elsewhere). Latency percentiles are reported but not gated — shared
+// runners swing them too hard to gate without flakes.
+func gateServe(baseline, current []byte) ([]string, error) {
+	var base, curr ServeBench
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline serve record: %w", err)
+	}
+	if err := json.Unmarshal(current, &curr); err != nil {
+		return nil, fmt.Errorf("current serve record: %w", err)
+	}
+	got := make(map[string]ServeBenchEntry, len(curr.Entries))
+	for _, e := range curr.Entries {
+		got[e.Name] = e
+	}
+	var violations []string
+	for _, b := range base.Entries {
+		c, ok := got[b.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("serve %s: entry missing from the current record", b.Name))
+			continue
+		}
+		if c.Errors != 0 {
+			violations = append(violations,
+				fmt.Sprintf("serve %s: %d failed requests (served responses must verify)", b.Name, c.Errors))
+		}
+		if b.Records > 0 && c.Records != b.Records {
+			violations = append(violations,
+				fmt.Sprintf("serve %s: %d verified sweep records, baseline saw %d (the served stream changed shape)",
+					b.Name, c.Records, b.Records))
+		}
+		if b.RequestsPerSecond > 0 && c.RequestsPerSecond < b.RequestsPerSecond/SecondsGrowthLimit {
+			violations = append(violations,
+				fmt.Sprintf("serve %s: %.0f requests/s is less than 1/%.0f of baseline %.0f",
+					b.Name, c.RequestsPerSecond, SecondsGrowthLimit, b.RequestsPerSecond))
 		}
 	}
 	return violations, nil

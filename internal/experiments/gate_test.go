@@ -22,6 +22,15 @@ const epistemeBase = `{
   ]
 }`
 
+const serveBase = `{
+  "entries": [
+    {"name": "mixed_min_n3_t1", "stack": "min", "n": 3, "t": 1,
+     "requests": 1000, "concurrency": 32, "errors": 0, "retried_429": 0,
+     "records": 9650, "requests_per_second": 3000,
+     "p50_millis": 9, "p99_millis": 17}
+  ]
+}`
+
 func gate(t *testing.T, base, curr string) []string {
 	t.Helper()
 	vs, err := GateBench([]byte(base), []byte(curr))
@@ -94,8 +103,41 @@ func TestGateRejectsMixedKinds(t *testing.T) {
 // TestGateAcceptsCommittedBaselines runs the gate over the repository's
 // own committed records against themselves: the committed baselines must
 // always pass their own gate.
+func TestGateServeToleratesNoiseButNotCollapse(t *testing.T) {
+	// Halved throughput and any latency swing pass...
+	curr := strings.Replace(serveBase, `"requests_per_second": 3000`, `"requests_per_second": 1501`, 1)
+	curr = strings.Replace(curr, `"p99_millis": 17`, `"p99_millis": 500`, 1)
+	if vs := gate(t, serveBase, curr); len(vs) != 0 {
+		t.Fatalf("gate flagged a within-slack serve record: %v", vs)
+	}
+	// ...a worse-than-2x collapse fails.
+	curr = strings.Replace(serveBase, `"requests_per_second": 3000`, `"requests_per_second": 1400`, 1)
+	vs := gate(t, serveBase, curr)
+	if len(vs) != 1 || !strings.Contains(vs[0], "requests/s") {
+		t.Fatalf("gate on collapsed throughput = %v, want one throughput violation", vs)
+	}
+}
+
+func TestGateServeFailsOnErrorsShapeAndMissingEntry(t *testing.T) {
+	curr := strings.Replace(serveBase, `"errors": 0`, `"errors": 3`, 1)
+	vs := gate(t, serveBase, curr)
+	if len(vs) != 1 || !strings.Contains(vs[0], "failed requests") {
+		t.Fatalf("gate on failed requests = %v, want one errors violation", vs)
+	}
+	curr = strings.Replace(serveBase, `"records": 9650,`, `"records": 9651,`, 1)
+	vs = gate(t, serveBase, curr)
+	if len(vs) != 1 || !strings.Contains(vs[0], "changed shape") {
+		t.Fatalf("gate on drifted records = %v, want one shape violation", vs)
+	}
+	vs = gate(t, serveBase, `{"entries": [
+    {"name": "other", "requests_per_second": 3000}]}`)
+	if len(vs) != 1 || !strings.Contains(vs[0], "missing") {
+		t.Fatalf("gate on a dropped entry = %v, want one missing-entry violation", vs)
+	}
+}
+
 func TestGateAcceptsCommittedBaselines(t *testing.T) {
-	for _, path := range []string{"../../BENCH_engine.json", "../../BENCH_episteme.json"} {
+	for _, path := range []string{"../../BENCH_engine.json", "../../BENCH_episteme.json", "../../BENCH_serve.json"} {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatalf("reading %s: %v", path, err)

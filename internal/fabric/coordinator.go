@@ -2,6 +2,7 @@
 // the lease table, verifies every upload before trusting it, spools
 // verified stripes to disk (so a restarted coordinator resumes instead of
 // rerunning), and runs the canonical merge when the last stripe lands.
+
 package fabric
 
 import (
@@ -76,7 +77,8 @@ type workerStats struct {
 	stripes     int
 	records     int64
 	first, last time.Time
-	cache       *CacheReport // last-heartbeated cache counters, nil if none
+	cache       *CacheReport // last-known cache counters, nil if never reported
+	cacheAt     time.Time    // when that report arrived (zero if never)
 }
 
 // NewCoordinator validates the job, prepares the spool directory, and
@@ -305,11 +307,16 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.touchWorker(req.Worker)
+	// A heartbeat without a CacheReport (a worker restarted without its
+	// cache, or one that never ran one) must not clear the last-known
+	// counters: Status keeps them and flags them stale instead, so the
+	// fleet's cache history survives a cacheless restart.
 	if req.Cache != nil {
 		snap := *req.Cache
 		c.mu.Lock()
 		if ws := c.workers[req.Worker]; ws != nil {
 			ws.cache = &snap
+			ws.cacheAt = c.now()
 		}
 		c.mu.Unlock()
 	}
@@ -506,6 +513,11 @@ func (c *Coordinator) Status() StatusReport {
 			if ws.cache != nil {
 				snap := *ws.cache
 				wr.Cache = &snap
+				// Stale: the worker has been heard from since its last
+				// cache report, so the counters are history, not a live
+				// snapshot.
+				wr.CacheStale = ws.last.After(ws.cacheAt)
+				wr.CacheAgeMillis = now.Sub(ws.cacheAt).Milliseconds()
 			}
 			rep.Workers[id] = wr
 		}

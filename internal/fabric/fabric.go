@@ -247,9 +247,16 @@ type WorkerReport struct {
 	RecordsPerSecond float64 `json:"recordsPerSecond"`
 	// IdleMillis is the time since the worker was last heard from.
 	IdleMillis int64 `json:"idleMillis"`
-	// Cache is the worker's last-reported result-cache counters (absent
-	// when the worker runs without a cache).
+	// Cache is the worker's last-known result-cache counters (absent
+	// when the worker never reported any). A worker that heartbeats
+	// without a CacheReport — e.g. restarted without its cache — does
+	// NOT clear them; CacheStale marks them as history instead.
 	Cache *CacheReport `json:"cache,omitempty"`
+	// CacheStale reports that the worker has been heard from since its
+	// last cache report, so Cache is last-known history rather than a
+	// live snapshot. CacheAgeMillis is the time since that report.
+	CacheStale     bool  `json:"cacheStale,omitempty"`
+	CacheAgeMillis int64 `json:"cacheAgeMillis,omitempty"`
 }
 
 // StatusReport is the coordinator's JSON status: machine-readable for the

@@ -801,10 +801,73 @@ func TestHeartbeatCarriesCacheReport(t *testing.T) {
 	if rep.Cache != nil {
 		t.Fatal("coordinator hosts no store but reports cache traffic")
 	}
+	if wr.CacheStale {
+		t.Fatal("a report delivered by the latest heartbeat is flagged stale")
+	}
 
-	// A cache-less heartbeat must not erase the last report.
+	// A cache-less heartbeat must not erase the last report — it must
+	// survive as last-known counters, flagged stale.
 	beat(HeartbeatRequest{Worker: "wx", Stripe: grant.Stripe})
-	if wr := c.Status().Workers["wx"]; wr.Cache == nil || wr.Cache.Hits != 7 {
+	wr = c.Status().Workers["wx"]
+	if wr.Cache == nil || wr.Cache.Hits != 7 {
 		t.Fatalf("cache report after plain heartbeat = %+v; want the last snapshot kept", wr.Cache)
+	}
+	if !wr.CacheStale {
+		t.Fatal("last-known counters after a cacheless heartbeat are not flagged stale")
+	}
+}
+
+// TestStatusAgesStaleCacheReport drives the staleness accounting with a
+// fake clock: a worker that reports cache counters once and then
+// heartbeats cacheless (a restart without its cache, say) keeps its
+// last-known counters in /status, flagged stale and aged from the
+// moment the report arrived.
+func TestStatusAgesStaleCacheReport(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	c, err := NewCoordinator(CoordinatorConfig{
+		Job:      testJob(2),
+		SpoolDir: t.TempDir(),
+		LeaseTTL: time.Hour,
+		Logf:     t.Logf,
+		now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	grant, status := leaseStripe(t, srv.URL, "wr")
+	if status != http.StatusOK {
+		t.Fatalf("lease status = %d", status)
+	}
+	beat := func(req HeartbeatRequest) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/heartbeat", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /heartbeat: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("heartbeat status = %d", resp.StatusCode)
+		}
+	}
+
+	beat(HeartbeatRequest{Worker: "wr", Stripe: grant.Stripe, Cache: &CacheReport{Hits: 5, Misses: 1}})
+	wr := c.Status().Workers["wr"]
+	if wr.Cache == nil || wr.CacheStale || wr.CacheAgeMillis != 0 {
+		t.Fatalf("fresh report: cache=%+v stale=%v age=%dms; want a live zero-age snapshot",
+			wr.Cache, wr.CacheStale, wr.CacheAgeMillis)
+	}
+
+	now = now.Add(4 * time.Second)
+	beat(HeartbeatRequest{Worker: "wr", Stripe: grant.Stripe})
+	wr = c.Status().Workers["wr"]
+	if wr.Cache == nil || wr.Cache.Hits != 5 {
+		t.Fatalf("cache report after cacheless heartbeat = %+v; want the counters preserved", wr.Cache)
+	}
+	if !wr.CacheStale || wr.CacheAgeMillis != 4000 {
+		t.Fatalf("stale=%v age=%dms; want stale last-known counters aged 4000ms", wr.CacheStale, wr.CacheAgeMillis)
 	}
 }

@@ -6,6 +6,7 @@
 // next lease request. Completion is keyed on content, not on lease
 // ownership: any sealed valid upload completes a stripe, the first one
 // wins, and a second upload must match its digest or the job aborts.
+
 package fabric
 
 import (

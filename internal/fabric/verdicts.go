@@ -2,6 +2,7 @@
 // -check -merge and the fabric coordinator's check-job merge write their
 // verdict lines through this one function, so a fabric run's verdicts
 // diff clean against a single-process run's.
+
 package fabric
 
 import (

@@ -4,6 +4,7 @@
 // retry with exponential backoff and jitter, bounded; a lost lease just
 // abandons the stripe (someone else owns it now); SIGTERM-style draining
 // finishes the stripe in hand and uploads it before exiting.
+
 package fabric
 
 import (

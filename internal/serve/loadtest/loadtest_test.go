@@ -1,0 +1,92 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestRunAgainstInProcessServer drives the full mixed load against an
+// httptest server and expects a clean summary — including when the
+// admission pool is small enough that 429 retries are exercised.
+func TestRunAgainstInProcessServer(t *testing.T) {
+	s := serve.NewServer(serve.Config{MaxInflight: 4, MaxParallelism: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sum, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Requests:    200,
+		Concurrency: 16,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := sum.Err(); err != nil {
+		t.Fatalf("summary: %v (details %v)", err, sum.Details)
+	}
+	if sum.Sweeps+sum.Checks+sum.Knowledge != sum.Requests {
+		t.Fatalf("mix %d+%d+%d != %d", sum.Sweeps, sum.Checks, sum.Knowledge, sum.Requests)
+	}
+	if sum.Records == 0 {
+		t.Fatal("no sweep records verified")
+	}
+	if sum.RequestsPerSecond <= 0 || sum.P99Millis < sum.P50Millis {
+		t.Fatalf("implausible latency summary: %+v", sum)
+	}
+}
+
+// TestRetriesAbsorb429s pins the admission contract from the client
+// side: a server that bounces a request twice before serving it costs
+// two retries, not an error.
+func TestRetriesAbsorb429s(t *testing.T) {
+	s := serve.NewServer(serve.Config{MaxParallelism: 1})
+	inner := s.Handler()
+	var mu sync.Mutex
+	bounces := map[string]int{}
+	outer := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		n := bounces[string(body)]
+		bounces[string(body)]++
+		mu.Unlock()
+		if n < 2 && r.URL.Path != "/v1/knowledge" {
+			http.Error(w, "synthetic capacity bounce", http.StatusTooManyRequests)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(outer)
+	defer ts.Close()
+
+	sum, err := Run(context.Background(), Config{BaseURL: ts.URL, Requests: 20, Concurrency: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := sum.Err(); err != nil {
+		t.Fatalf("summary: %v (details %v)", err, sum.Details)
+	}
+	if sum.Retried429 == 0 {
+		t.Fatal("no retries recorded despite synthetic bounces")
+	}
+}
+
+// TestSummaryErrTaxonomy pins the Err mapping the CLI's exit codes rely
+// on.
+func TestSummaryErrTaxonomy(t *testing.T) {
+	clean := &Summary{Requests: 10}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("clean summary: %v", err)
+	}
+	dirty := &Summary{Requests: 10, Errors: 2, Details: []string{"sweep #0: boom"}}
+	if err := dirty.Err(); err == nil {
+		t.Fatal("dirty summary returned nil error")
+	}
+}

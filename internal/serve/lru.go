@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/episteme"
+)
+
+// buildCall is one in-flight System build, shared by every request that
+// asked for the key while it ran. The leader closes done once sys/err
+// are final; followers select on it against their own cancellation.
+type buildCall struct {
+	done chan struct{}
+	sys  *episteme.System
+	err  error
+}
+
+// lruEntry is one cached System.
+type lruEntry struct {
+	key string
+	sys *episteme.System
+}
+
+// systemLRU is the hot-System cache: at most max built Systems keyed by
+// (stack version digest, n, t, horizon), least-recently-queried evicted
+// first, with singleflight build deduplication — N concurrent queries
+// for a cold key trigger exactly one build, and the other N-1 wait for
+// its result instead of building their own.
+type systemLRU struct {
+	mu       sync.Mutex
+	max      int
+	order    *list.List // front = most recently used; values *lruEntry
+	entries  map[string]*list.Element
+	building map[string]*buildCall
+	met      *metrics
+}
+
+func newSystemLRU(max int, met *metrics) *systemLRU {
+	return &systemLRU{
+		max:      max,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		building: make(map[string]*buildCall),
+		met:      met,
+	}
+}
+
+// get returns the key's System, building it with build on a miss.
+// Concurrent gets for one cold key share a single build call; a failed
+// build caches nothing, so the next get retries. The build runs on the
+// leader's context — if the leader disconnects mid-build, followers see
+// its cancellation error and their retry becomes the new leader.
+func (l *systemLRU) get(ctx context.Context, key string, build func(context.Context) (*episteme.System, error)) (*episteme.System, error) {
+	l.mu.Lock()
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		l.mu.Unlock()
+		l.met.lruHits.Add(1)
+		return el.Value.(*lruEntry).sys, nil
+	}
+	if call, ok := l.building[key]; ok {
+		l.mu.Unlock()
+		l.met.lruCoalesced.Add(1)
+		select {
+		case <-call.done:
+			return call.sys, call.err
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	call := &buildCall{done: make(chan struct{})}
+	l.building[key] = call
+	l.mu.Unlock()
+	l.met.lruMisses.Add(1)
+
+	call.sys, call.err = build(ctx)
+
+	l.mu.Lock()
+	delete(l.building, key)
+	if call.err == nil {
+		l.insertLocked(key, call.sys)
+	}
+	l.mu.Unlock()
+	close(call.done)
+	return call.sys, call.err
+}
+
+// insertLocked files a built System at the front and evicts past max.
+func (l *systemLRU) insertLocked(key string, sys *episteme.System) {
+	if el, ok := l.entries[key]; ok {
+		// A concurrent leader for the same key can't exist (building map),
+		// but be safe: keep the existing entry fresh.
+		l.order.MoveToFront(el)
+		return
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry{key: key, sys: sys})
+	for l.order.Len() > l.max {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.entries, oldest.Value.(*lruEntry).key)
+		l.met.lruEvictions.Add(1)
+	}
+}
+
+// len reports the number of cached Systems (tests).
+func (l *systemLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// has reports whether key is cached without touching recency (tests).
+func (l *systemLRU) has(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[key]
+	return ok
+}

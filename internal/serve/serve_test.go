@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/adversary"
+	rescache "repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/episteme"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/source"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, req any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func readAll(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return b
+}
+
+// referenceShard reproduces what ebashard writes for one stripe: the
+// runner configuration here mirrors cmd/ebashard's runStripe exactly.
+func referenceShard(t *testing.T, stackName string, n, tf int, shard source.ShardSpec, quotient bool) []byte {
+	t.Helper()
+	stack, err := core.NewStack(stackName, core.WithN(n), core.WithT(tf))
+	if err != nil {
+		t.Fatalf("stack: %v", err)
+	}
+	pats, err := source.SO(stack.N, stack.T, stack.Horizon(), adversary.Options{})
+	if err != nil {
+		t.Fatalf("patterns: %v", err)
+	}
+	src, err := source.CrossInits(pats, stack.N)
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	var csrc core.Source = src
+	if quotient {
+		csrc = source.Quotient(src)
+	}
+	var buf bytes.Buffer
+	r := core.NewRunner(stack,
+		core.WithParallelism(2),
+		core.WithBufferReuse(),
+		core.WithSpecCheck(specOptions(stack)))
+	if _, err := r.RunShard(context.Background(), csrc, shard.Index, shard.Count, &buf); err != nil {
+		t.Fatalf("reference RunShard: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepMatchesCLIBytes pins the served sweep stream byte-identical
+// to the CLI path for whole sweeps, stripes, and quotiented sweeps.
+func TestSweepMatchesCLIBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		req      SweepRequest
+		shard    source.ShardSpec
+		quotient bool
+	}{
+		{"whole", SweepRequest{Stack: "min", N: 3, T: 1}, source.ShardSpec{Index: 0, Count: 1}, false},
+		{"stripe0", SweepRequest{Stack: "min", N: 3, T: 1, Shard: "0/3"}, source.ShardSpec{Index: 0, Count: 3}, false},
+		{"stripe2", SweepRequest{Stack: "min", N: 3, T: 1, Shard: "2/3"}, source.ShardSpec{Index: 2, Count: 3}, false},
+		{"quotient", SweepRequest{Stack: "min", N: 3, T: 1, Quotient: true}, source.ShardSpec{Index: 0, Count: 1}, true},
+		{"fip", SweepRequest{Stack: "fip", N: 3, T: 1, Parallelism: 1}, source.ShardSpec{Index: 0, Count: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := referenceShard(t, tc.req.Stack, tc.req.N, tc.req.T, tc.shard, tc.quotient)
+			resp := postJSON(t, ts.URL+"/v1/sweep", tc.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp.Body))
+			}
+			got := readAll(t, resp.Body)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("served stream differs from CLI bytes:\n got %d bytes\nwant %d bytes", len(got), len(want))
+			}
+			// The served stream must verify like any stripe.
+			if _, err := core.VerifyOutcomeStream(bytes.NewReader(got)); err != nil {
+				t.Fatalf("served stream fails verification: %v", err)
+			}
+		})
+	}
+}
+
+func buildReferenceSystem(t *testing.T, stackName string, n, tf int) (core.Stack, *episteme.System) {
+	t.Helper()
+	stack, err := core.NewStack(stackName, core.WithN(n), core.WithT(tf))
+	if err != nil {
+		t.Fatalf("stack: %v", err)
+	}
+	sys, err := episteme.BuildSystem(context.Background(), episteme.ContextFor(stack), stack.Action)
+	if err != nil {
+		t.Fatalf("build system: %v", err)
+	}
+	return stack, sys
+}
+
+// TestCheckMatchesCLIBytes pins the served verdict block byte-identical
+// to the fabric/CLI WriteVerdicts output, for a plain and a quotiented
+// server.
+func TestCheckMatchesCLIBytes(t *testing.T) {
+	cases := []struct {
+		name     string
+		stack    string
+		quotient bool
+		req      CheckRequest
+	}{
+		{"min", "min", false, CheckRequest{Stack: "min", N: 3, T: 1, Safety: true}},
+		// Quotient=true on a non-KeyPermuter stack falls back to a full
+		// build; on fip it builds quotiented and expands — the served
+		// bytes must be identical either way.
+		{"min-quotient-fallback", "min", true, CheckRequest{Stack: "min", N: 3, T: 1, Safety: true}},
+		{"fip-quotient", "fip", true, CheckRequest{Stack: "fip", N: 3, T: 1, SkipOptimality: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{Quotient: tc.quotient})
+			stack, sys := buildReferenceSystem(t, tc.stack, 3, 1)
+			var want bytes.Buffer
+			if err := fabric.WriteVerdicts(context.Background(), &want, sys, stack.Name,
+				fabric.VerdictOptions{Safety: tc.req.Safety, Optimality: !tc.req.SkipOptimality}); err != nil {
+				t.Fatalf("reference verdicts: %v", err)
+			}
+			resp := postJSON(t, ts.URL+"/v1/check", tc.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp.Body))
+			}
+			if v := resp.Header.Get(VerdictHeader); v != "ok" {
+				t.Fatalf("%s = %q, want ok", VerdictHeader, v)
+			}
+			got := readAll(t, resp.Body)
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("served verdicts differ from CLI bytes:\n got: %s\nwant: %s", got, want.Bytes())
+			}
+		})
+	}
+}
+
+// TestKnowledgeQueries exercises every query kind against semantics
+// computed directly on the reference System.
+func TestKnowledgeQueries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, sys := buildReferenceSystem(t, "min", 3, 1)
+
+	query := func(req KnowledgeRequest) KnowledgeResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/knowledge", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp.Body))
+		}
+		var kr KnowledgeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&kr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return kr
+	}
+
+	base := KnowledgeRequest{Stack: "min", N: 3, T: 1}
+	// Echoed dimensions describe the full system.
+	kr := query(withQuery(base, QueryExists, 0, 0, 0, 0))
+	if kr.Runs != len(sys.Runs) || kr.Horizon != sys.Horizon {
+		t.Fatalf("echoed dims %d/%d, want %d/%d", kr.Runs, kr.Horizon, len(sys.Runs), sys.Horizon)
+	}
+
+	// Cross-check every query kind on a spread of points against the
+	// in-process System.
+	checked := 0
+	for run := 0; run < len(sys.Runs); run += 7 {
+		for _, tm := range []int{0, sys.Horizon} {
+			p := episteme.Point{Run: run, Time: tm}
+			for v := 0; v <= 1; v++ {
+				vv := model.Value(v)
+				if got := query(withQuery(base, QueryExists, 0, run, tm, v)).Holds; got != sys.Exists(vv, p) {
+					t.Fatalf("exists(%d) at %+v: served %v", v, p, got)
+				}
+				for agent := 0; agent < sys.N; agent++ {
+					i := model.AgentID(agent)
+					if got := query(withQuery(base, QueryKnowsExists, agent, run, tm, v)).Holds; got != sys.Knows(i, p, func(q episteme.Point) bool { return sys.Exists(vv, q) }) {
+						t.Fatalf("knows_exists(%d,%d) at %+v: served %v", agent, v, p, got)
+					}
+					if got := query(withQuery(base, QueryKnowsCK, agent, run, tm, v)).Holds; got != sys.KnowsCK(i, p, vv) {
+						t.Fatalf("knows_ck(%d,%d) at %+v: served %v", agent, v, p, got)
+					}
+					if got := query(withQuery(base, QueryNonfaulty, agent, run, tm, v)).Holds; got != sys.Nonfaulty(i, p) {
+						t.Fatalf("nonfaulty(%d) at %+v: served %v", agent, p, got)
+					}
+					dr := query(withQuery(base, QueryDecided, agent, run, tm, v))
+					d := sys.DecidedVal(i, p)
+					wantDecided := -1
+					if d.IsSet() {
+						wantDecided = int(d)
+					}
+					if dr.Decided != wantDecided || dr.Holds != (d.IsSet() && int(d) == v) {
+						t.Fatalf("decided(%d) at %+v: served %+v, system says %d", agent, p, dr, wantDecided)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no points checked")
+	}
+
+	// Validation errors.
+	for _, bad := range []KnowledgeRequest{
+		withQuery(base, "mystery", 0, 0, 0, 0),
+		withQuery(base, QueryExists, 0, len(sys.Runs), 0, 0),
+		withQuery(base, QueryExists, 0, 0, sys.Horizon+1, 0),
+		withQuery(base, QueryNonfaulty, 3, 0, 0, 0),
+		withQuery(base, QueryExists, 0, 0, 0, 7),
+	} {
+		resp := postJSON(t, ts.URL+"/v1/knowledge", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func withQuery(base KnowledgeRequest, q string, agent, run, tm, v int) KnowledgeRequest {
+	base.Query, base.Agent, base.Run, base.Time, base.Value = q, agent, run, tm, v
+	return base
+}
+
+// TestLRUEvictionAndSingleflight drives the systemLRU directly with
+// counted fake builders.
+func TestLRUEvictionAndSingleflight(t *testing.T) {
+	met := newMetrics()
+	lru := newSystemLRU(2, met)
+	ctx := context.Background()
+
+	var builds atomic.Int64
+	builder := func(context.Context) (*episteme.System, error) {
+		builds.Add(1)
+		return &episteme.System{}, nil
+	}
+
+	// Singleflight: N concurrent gets for one cold key build once.
+	const waiters = 16
+	gate := make(chan struct{})
+	slowBuilder := func(context.Context) (*episteme.System, error) {
+		<-gate
+		return builder(ctx)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := lru.get(ctx, "a", slowBuilder); err != nil {
+				t.Errorf("get: %v", err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d concurrent gets ran %d builds, want 1", waiters, got)
+	}
+	if h, c := met.lruHits.Load(), met.lruCoalesced.Load(); h+c != waiters-1 {
+		t.Fatalf("hits %d + coalesced %d, want %d followers", h, c, waiters-1)
+	}
+
+	// Eviction: capacity 2, third key evicts the least recently used.
+	if _, err := lru.get(ctx, "b", builder); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lru.get(ctx, "a", builder); err != nil { // refresh a
+		t.Fatal(err)
+	}
+	if _, err := lru.get(ctx, "c", builder); err != nil { // evicts b
+		t.Fatal(err)
+	}
+	if lru.len() != 2 {
+		t.Fatalf("LRU holds %d, want 2", lru.len())
+	}
+	if lru.has("b") || !lru.has("a") || !lru.has("c") {
+		t.Fatalf("LRU kept the wrong keys (b=%v a=%v c=%v)", lru.has("b"), lru.has("a"), lru.has("c"))
+	}
+	if met.lruEvictions.Load() != 1 {
+		t.Fatalf("evictions %d, want 1", met.lruEvictions.Load())
+	}
+	wantBuilds := builds.Load()
+	if _, err := lru.get(ctx, "b", builder); err != nil { // cold again
+		t.Fatal(err)
+	}
+	if builds.Load() != wantBuilds+1 {
+		t.Fatal("evicted key did not rebuild")
+	}
+}
+
+// TestServerSingleflight asserts the end-to-end property: N concurrent
+// knowledge queries against one cold stack trigger exactly one build.
+func TestServerSingleflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const concurrent = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(KnowledgeRequest{Stack: "min", N: 3, T: 1, Query: QueryExists, Value: 1})
+			resp, err := http.Post(ts.URL+"/v1/knowledge", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.met.lruMisses.Load(); got != 1 {
+		t.Fatalf("%d concurrent queries ran %d builds, want 1", concurrent, got)
+	}
+	if got := s.lru.len(); got != 1 {
+		t.Fatalf("LRU holds %d systems, want 1", got)
+	}
+}
+
+// TestAdmission429 fills the in-flight pool and expects the next
+// request to bounce without touching a handler.
+func TestAdmission429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 2})
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	resp := postJSON(t, ts.URL+"/v1/knowledge", KnowledgeRequest{Stack: "min", N: 3, T: 1, Query: QueryExists})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := s.met.rejects[kindKnowledge].Load(); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	<-s.inflight
+	<-s.inflight
+	resp = postJSON(t, ts.URL+"/v1/knowledge", KnowledgeRequest{Stack: "min", N: 3, T: 1, Query: QueryExists, Value: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after freeing the pool: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDrain pins the graceful-drain contract: in-flight requests
+// finish, new work and health checks get 503.
+func TestDrain(t *testing.T) {
+	s := NewServer(Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slow := s.admit(kindSweep, func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", slow)
+	mux.Handle("/", s.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/slow", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered
+	if s.Inflight() != 1 {
+		t.Fatalf("inflight %d, want 1", s.Inflight())
+	}
+
+	s.Drain()
+	s.Drain() // idempotent
+
+	resp := postJSON(t, ts.URL+"/v1/knowledge", KnowledgeRequest{Stack: "min", N: 3, T: 1, Query: QueryExists})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new work during drain: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", hresp.StatusCode)
+	}
+
+	close(release)
+	if got := <-done; got != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", got)
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight %d after drain completion, want 0", s.Inflight())
+	}
+}
+
+// TestMetricsContent serves a mixed load and asserts the exposition
+// carries the promised series with sane values.
+func TestMetricsContent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// One build, then hits.
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/knowledge", KnowledgeRequest{Stack: "min", N: 3, T: 1, Query: QueryExists, Value: 1})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("knowledge status %d", resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Stack: "min", N: 3, T: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	readAll(t, resp.Body)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text := string(readAll(t, mresp.Body))
+
+	for _, want := range []string{
+		`eba_requests_total{kind="knowledge"} 3`,
+		`eba_requests_total{kind="sweep"} 1`,
+		`eba_requests_total{kind="check"} 0`,
+		`eba_system_lru_misses_total 1`,
+		"eba_build_seconds_p99 ",
+		"eba_request_seconds_knowledge_bucket{le=\"+Inf\"} 3",
+		"# TYPE eba_build_seconds histogram",
+		"eba_requests_per_second ",
+		"eba_uptime_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	// Two of the three knowledge queries hit the LRU (ratio > 0).
+	if strings.Contains(text, "eba_system_lru_hit_ratio 0\n") {
+		t.Error("LRU hit ratio is zero after repeated identical queries")
+	}
+	if !strings.Contains(text, "eba_sweep_records_total") {
+		t.Error("metrics exposition missing sweep record counter")
+	}
+}
+
+// TestResultCacheBackedServer wires an on-disk result cache through the
+// server and expects the exposition to report its traffic.
+func TestResultCacheBackedServer(t *testing.T) {
+	store, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: store, Fingerprint: "test"})
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Stack: "min", N: 3, T: 1})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status %d", resp.StatusCode)
+		}
+		readAll(t, resp.Body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text := string(readAll(t, mresp.Body))
+	if !strings.Contains(text, "eba_result_cache_hits_total") {
+		t.Fatal("metrics exposition missing result cache series")
+	}
+	if strings.Contains(text, "eba_result_cache_hit_ratio 0\n") {
+		t.Fatal("second identical sweep did not hit the result cache")
+	}
+}

@@ -4,6 +4,7 @@
 // source and each keeping stripe i cover the sweep exactly once with no
 // coordination. ShardSpec is the "i/k" value that names a stripe and
 // round-trips through flags, environment variables, and config files.
+
 package source
 
 import (
